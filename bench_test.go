@@ -1,0 +1,215 @@
+package hoard
+
+// Benchmark harness: one testing.B benchmark per figure and table of the
+// paper's evaluation, plus real-goroutine microbenchmarks of the public
+// API. The figure benches run the deterministic multiprocessor simulation
+// and report the paper's metric as a custom unit:
+//
+//	virt_ms  — virtual milliseconds for the workload (lower is better)
+//	Mops/s   — workload operations per virtual second
+//	speedup1 — T(alloc, P=1) / T(alloc, P) for the same bench
+//
+// Because each iteration is a full deterministic simulation, run these with
+// -benchtime=1x:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// cmd/hoardbench prints the same experiments as full sweep tables.
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/experiments"
+	"hoardgo/internal/workload"
+)
+
+// benchProcs are the processor counts exercised by figure benches (the
+// paper's endpoints plus a midpoint).
+var benchProcs = []int{1, 4, 14}
+
+// baseCache memoizes each (figure, alloc) single-processor virtual time so
+// speedup1 can be reported without re-running P=1 inside every sub-bench.
+var (
+	baseMu    sync.Mutex
+	baseCache = map[string]int64{}
+)
+
+func figureBench(b *testing.B, id string) {
+	def, ok := experiments.FigureByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %q", id)
+	}
+	opts := experiments.Defaults(experiments.Quick)
+	run := def.Run(opts.Scale)
+	for _, name := range opts.Allocs {
+		for _, p := range benchProcs {
+			b.Run(fmt.Sprintf("%s/P=%d", name, p), func(b *testing.B) {
+				var res workload.Result
+				for i := 0; i < b.N; i++ {
+					h := workload.NewSim(name, p, opts.Cost)
+					res = run(h, p)
+				}
+				key := id + "/" + name
+				baseMu.Lock()
+				if p == 1 {
+					baseCache[key] = res.ElapsedNS
+				}
+				base := baseCache[key]
+				baseMu.Unlock()
+				b.ReportMetric(float64(res.ElapsedNS)/1e6, "virt_ms")
+				b.ReportMetric(res.Throughput()/1e6, "Mops/s")
+				if base > 0 && res.ElapsedNS > 0 {
+					b.ReportMetric(float64(base)/float64(res.ElapsedNS), "speedup1")
+				}
+			})
+		}
+	}
+}
+
+// F1-F7: the paper's figures.
+
+func BenchmarkFigThreadtest(b *testing.B)   { figureBench(b, "threadtest") }
+func BenchmarkFigShbench(b *testing.B)      { figureBench(b, "shbench") }
+func BenchmarkFigLarson(b *testing.B)       { figureBench(b, "larson") }
+func BenchmarkFigActiveFalse(b *testing.B)  { figureBench(b, "active-false") }
+func BenchmarkFigPassiveFalse(b *testing.B) { figureBench(b, "passive-false") }
+func BenchmarkFigBEM(b *testing.B)          { figureBench(b, "bem") }
+func BenchmarkFigBarnesHut(b *testing.B)    { figureBench(b, "barneshut") }
+
+// T2: fragmentation under Hoard per benchmark (reported as frag_x).
+func BenchmarkTableFragmentation(b *testing.B) {
+	opts := experiments.Defaults(experiments.Quick)
+	for _, def := range experiments.Figures() {
+		b.Run(def.ID, func(b *testing.B) {
+			var res workload.Result
+			run := def.Run(opts.Scale)
+			for i := 0; i < b.N; i++ {
+				h := workload.NewSim("hoard", 14, opts.Cost)
+				res = run(h, 14)
+			}
+			b.ReportMetric(res.Fragmentation(), "frag_x")
+			b.ReportMetric(float64(res.VM.PeakCommitted)/1024, "peakKB")
+		})
+	}
+}
+
+// T3: uniprocessor overhead — virtual runtime at P=1, per allocator,
+// normalized to serial (norm_serial).
+func BenchmarkTableUniproc(b *testing.B) {
+	opts := experiments.Defaults(experiments.Quick)
+	def, _ := experiments.FigureByID("threadtest")
+	run := def.Run(opts.Scale)
+	serial := int64(0)
+	for _, name := range append([]string{"serial"}, opts.Allocs...) {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var res workload.Result
+			for i := 0; i < b.N; i++ {
+				h := workload.NewSim(name, 1, opts.Cost)
+				res = run(h, 1)
+			}
+			if name == "serial" && serial == 0 {
+				serial = res.ElapsedNS
+			}
+			b.ReportMetric(float64(res.ElapsedNS)/1e6, "virt_ms")
+			if serial > 0 {
+				b.ReportMetric(float64(res.ElapsedNS)/float64(serial), "norm_serial")
+			}
+		})
+	}
+}
+
+// T4: producer-consumer blowup — final committed memory over the live set
+// (blowup_x) and over the first round (growth_x).
+func BenchmarkTableBlowup(b *testing.B) {
+	opts := experiments.Defaults(experiments.Quick)
+	cfg := workload.DefaultProdCons(4)
+	cfg.Rounds = 20
+	ideal := int64(cfg.Batch * cfg.ObjSize)
+	for _, name := range opts.Allocs {
+		b.Run(name, func(b *testing.B) {
+			var series []int64
+			for i := 0; i < b.N; i++ {
+				h := workload.NewSim(name, 4, opts.Cost)
+				_, series = workload.ProdCons(h, cfg)
+			}
+			last := series[len(series)-1]
+			b.ReportMetric(float64(last)/float64(ideal), "blowup_x")
+			b.ReportMetric(float64(last)/float64(series[0]), "growth_x")
+		})
+	}
+}
+
+// Real-goroutine microbenchmarks of the public API (wall-clock ns/op).
+
+func BenchmarkMallocFree(b *testing.B) {
+	for _, name := range allocators.Names() {
+		b.Run(name, func(b *testing.B) {
+			a := MustNew(Config{Policy: Policy(name), Procs: 4})
+			t := a.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Free(t.Malloc(64))
+			}
+		})
+	}
+}
+
+func BenchmarkMallocFreeSizeMix(b *testing.B) {
+	for _, name := range allocators.Names() {
+		b.Run(name, func(b *testing.B) {
+			a := MustNew(Config{Policy: Policy(name), Procs: 4})
+			t := a.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Free(t.Malloc(8 + (i*37)%2048))
+			}
+		})
+	}
+}
+
+// BenchmarkMallocFreeParallel measures contention with real goroutines
+// (on a multicore host this is where serial collapses; the simulated
+// figures capture the same effect machine-independently).
+func BenchmarkMallocFreeParallel(b *testing.B) {
+	for _, name := range allocators.Names() {
+		b.Run(name, func(b *testing.B) {
+			a := MustNew(Config{Policy: Policy(name), Procs: 8})
+			b.RunParallel(func(pb *testing.PB) {
+				t := a.NewThread()
+				for pb.Next() {
+					t.Free(t.Malloc(64))
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkProducerConsumerReal drives cross-goroutine frees through a
+// channel — the blowup pattern, timed for real.
+func BenchmarkProducerConsumerReal(b *testing.B) {
+	for _, name := range []string{"hoard", "ownership", "private"} {
+		b.Run(name, func(b *testing.B) {
+			a := MustNew(Config{Policy: Policy(name), Procs: 2})
+			ch := make(chan Ptr, 1024)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t := a.NewThread()
+				for p := range ch {
+					t.Free(p)
+				}
+			}()
+			t := a.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch <- t.Malloc(64)
+			}
+			close(ch)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Command alloctrace generates, inspects, and replays allocation traces.
+//
+// Subcommands:
+//
+//	alloctrace synth -o trace.bin [-threads 4] [-events 100000] [-min 1] [-max 1000] [-cross 0.3] [-seed 1]
+//	    Generate a synthetic well-formed trace.
+//
+//	alloctrace record -o trace.bin [-bench larson] [-alloc hoard] [-procs 4] [-scale quick|full]
+//	    Run one of the paper's benchmarks on the simulator and capture
+//	    its allocation trace for later replay.
+//
+//	alloctrace info trace.bin
+//	    Print a trace's event counts and size distribution.
+//
+//	alloctrace replay trace.bin [-alloc hoard] [-procs 8] [-sim]
+//	    Replay the trace against an allocator and report memory behavior
+//	    (peak footprint, fragmentation) — the way allocator policies are
+//	    compared on identical input. With -sim the replay runs on the
+//	    deterministic simulated multiprocessor, one simulated thread per
+//	    trace thread, and also reports the virtual makespan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/env"
+	"hoardgo/internal/experiments"
+	"hoardgo/internal/simproc"
+	"hoardgo/internal/trace"
+	"hoardgo/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "alloctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: alloctrace synth|info|replay ...")
+	}
+	switch args[0] {
+	case "synth":
+		return synth(args[1:])
+	case "record":
+		return record(args[1:])
+	case "info":
+		return info(args[1:])
+	case "replay":
+		return replay(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	out := fs.String("o", "trace.bin", "output file")
+	threads := fs.Int("threads", 4, "thread count")
+	events := fs.Int("events", 100000, "event count")
+	minSz := fs.Int("min", 1, "min object size")
+	maxSz := fs.Int("max", 1000, "max object size")
+	cross := fs.Float64("cross", 0.3, "cross-thread free probability")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := trace.Synthesize(trace.SynthesizeConfig{
+		Threads: *threads, Events: *events,
+		MinSize: *minSz, MaxSize: *maxSz,
+		CrossFree: *cross, Seed: *seed,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Encode(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d threads, %d events\n", *out, tr.Threads, len(tr.Events))
+	return f.Close()
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("o", "trace.bin", "output file")
+	bench := fs.String("bench", "larson", "benchmark id")
+	allocName := fs.String("alloc", "hoard", "allocator to run under the recorder")
+	procs := fs.Int("procs", 4, "simulated processors")
+	scaleFlag := fs.String("scale", "quick", "workload scale: quick or full")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	def, ok := experiments.FigureByID(*bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	} else if *scaleFlag != "quick" {
+		return fmt.Errorf("unknown -scale %q", *scaleFlag)
+	}
+	var rec *trace.Recording
+	h := workload.NewSimMaker(*allocName, *procs, simproc.DefaultCosts,
+		func(p int, lf env.LockFactory) alloc.Allocator {
+			rec = trace.NewRecording(allocators.MustMake(*allocName, p, lf))
+			return rec
+		})
+	def.Run(scale)(h, *procs)
+	tr := rec.Trace()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Encode(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s on %s: %d threads, %d events -> %s\n",
+		def.ID, *allocName, tr.Threads, len(tr.Events), *out)
+	return f.Close()
+}
+
+func load(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Decode(f)
+}
+
+func info(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: alloctrace info <file>")
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	var mallocs, frees, bytes int64
+	sizes := map[int32]int64{}
+	for _, ev := range tr.Events {
+		switch ev.Op {
+		case trace.OpMalloc:
+			mallocs++
+			bytes += int64(ev.Size)
+			sizes[ev.Size]++
+		case trace.OpFree:
+			frees++
+		}
+	}
+	fmt.Printf("threads  %d\n", tr.Threads)
+	fmt.Printf("events   %d (%d mallocs, %d frees)\n", len(tr.Events), mallocs, frees)
+	if mallocs > 0 {
+		fmt.Printf("bytes    %d total, %.1f avg\n", bytes, float64(bytes)/float64(mallocs))
+	}
+	// Top size classes by count.
+	type sc struct {
+		size  int32
+		count int64
+	}
+	var top []sc
+	for s, c := range sizes {
+		top = append(top, sc{s, c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].count != top[j].count {
+			return top[i].count > top[j].count
+		}
+		return top[i].size < top[j].size
+	})
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, t := range top {
+		fmt.Printf("  size %-6d x%d\n", t.size, t.count)
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	allocName := fs.String("alloc", "hoard", "allocator")
+	procs := fs.Int("procs", 8, "processor count (simulated CPUs with -sim, sizing otherwise)")
+	sim := fs.Bool("sim", false, "replay on the simulated multiprocessor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: alloctrace replay [flags] <file>")
+	}
+	tr, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var res trace.ReplayResult
+	if *sim {
+		h := workload.NewSim(*allocName, *procs, simproc.DefaultCosts)
+		var makespan int64
+		res, makespan, err = trace.ReplaySim(tr, h)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode            simulated, %d processors\n", *procs)
+		fmt.Printf("virtual time    %.3f ms (%.0f ops/s)\n",
+			float64(makespan)/1e6, float64(len(tr.Events))/(float64(makespan)/1e9))
+		if err := h.Allocator().CheckIntegrity(); err != nil {
+			return fmt.Errorf("post-replay integrity: %w", err)
+		}
+		fmt.Printf("allocator       %s\n", *allocName)
+		fmt.Printf("events          %d mallocs, %d frees\n", res.Mallocs, res.Frees)
+		fmt.Printf("max live        %d B\n", res.MaxLive)
+		fmt.Printf("peak footprint  %d B\n", res.PeakFootprint)
+		fmt.Printf("fragmentation   %.3f\n", res.Fragmentation())
+		return nil
+	}
+	a, err := allocators.Make(*allocName, *procs, env.RealLockFactory{})
+	if err != nil {
+		return err
+	}
+	res, err = trace.Replay(tr, a, func(i int) *alloc.Thread {
+		return a.NewThread(&env.RealEnv{ID: i})
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("allocator       %s\n", *allocName)
+	fmt.Printf("events          %d mallocs, %d frees\n", res.Mallocs, res.Frees)
+	fmt.Printf("max live        %d B\n", res.MaxLive)
+	fmt.Printf("peak footprint  %d B\n", res.PeakFootprint)
+	fmt.Printf("fragmentation   %.3f\n", res.Fragmentation())
+	if err := a.CheckIntegrity(); err != nil {
+		return fmt.Errorf("post-replay integrity: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command hoardsim runs a single benchmark point on the simulated
+// multiprocessor and prints everything the simulation observed: virtual
+// time, throughput, memory, per-lock contention, and cache-coherence
+// counters. It is the inspection tool behind hoardbench's summaries, and
+// emits CSV with -csv for plotting.
+//
+// Usage:
+//
+//	hoardsim [-bench threadtest] [-alloc hoard] [-procs 8] [-scale quick|full] [-csv]
+//	hoardsim -bench larson -procs 8 -compare     # all allocators, one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/experiments"
+	"hoardgo/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hoardsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchFlag = flag.String("bench", "threadtest", "benchmark id (threadtest shbench larson active-false passive-false bem barneshut)")
+		allocFlag = flag.String("alloc", "hoard", "allocator (hoard serial private ownership threshold)")
+		procsFlag = flag.Int("procs", 8, "virtual processor count")
+		scaleFlag = flag.String("scale", "quick", "workload scale: quick or full")
+		csvFlag   = flag.Bool("csv", false, "emit one CSV line: bench,alloc,procs,virtual_ns,ops,ops_per_sec,max_live,peak_heap,remote_transfers")
+		compare   = flag.Bool("compare", false, "run every allocator at this point and print a comparison table")
+	)
+	flag.Parse()
+
+	def, ok := experiments.FigureByID(*benchFlag)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *benchFlag)
+	}
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	} else if *scaleFlag != "quick" {
+		return fmt.Errorf("unknown -scale %q", *scaleFlag)
+	}
+	if *procsFlag < 1 || *procsFlag > 64 {
+		return fmt.Errorf("-procs %d out of [1,64]", *procsFlag)
+	}
+
+	opts := experiments.Defaults(scale)
+	if *compare {
+		fmt.Printf("%s at P=%d (%s scale)\n", def.ID, *procsFlag, *scaleFlag)
+		fmt.Printf("%-12s %12s %14s %14s %10s\n", "allocator", "virtual ms", "ops/s", "peak heap", "frag")
+		for _, name := range allocators.Names() {
+			ch := workload.NewSim(name, *procsFlag, opts.Cost)
+			r := def.Run(scale)(ch, *procsFlag)
+			fmt.Printf("%-12s %12.3f %14.0f %14d %10.2f\n",
+				name, float64(r.ElapsedNS)/1e6, r.Throughput(), r.VM.PeakCommitted, r.Fragmentation())
+		}
+		return nil
+	}
+	h := workload.NewSim(*allocFlag, *procsFlag, opts.Cost)
+	res := def.Run(scale)(h, *procsFlag)
+
+	if *csvFlag {
+		fmt.Printf("%s,%s,%d,%d,%d,%.0f,%d,%d,%d\n",
+			def.ID, *allocFlag, *procsFlag, res.ElapsedNS, res.Ops,
+			res.Throughput(), res.MaxLive, res.VM.PeakCommitted,
+			res.Cache.RemoteTransfers)
+		return nil
+	}
+
+	fmt.Printf("benchmark   %s (%s)\n", def.ID, def.Paper)
+	fmt.Printf("allocator   %s\n", *allocFlag)
+	fmt.Printf("processors  %d\n", *procsFlag)
+	fmt.Printf("virtual     %.3f ms\n", float64(res.ElapsedNS)/1e6)
+	fmt.Printf("ops         %d (%.0f ops/s)\n", res.Ops, res.Throughput())
+	fmt.Printf("max live    %d B\n", res.MaxLive)
+	fmt.Printf("peak heap   %d B (fragmentation %.2f)\n", res.VM.PeakCommitted, res.Fragmentation())
+	st := res.Alloc
+	fmt.Printf("allocator   mallocs=%d frees=%d large=%d sbMoves=%d globalHits=%d osReserves=%d remoteFrees=%d\n",
+		st.Mallocs, st.Frees, st.LargeMallocs, st.SuperblockMoves, st.GlobalHeapHits, st.OSReserves, st.RemoteFrees)
+	fmt.Printf("cache       hits=%d cold=%d remote=%d invalidations=%d\n",
+		res.Cache.Hits, res.Cache.ColdMisses, res.Cache.RemoteTransfers, res.Cache.Invalidations)
+	fmt.Println("locks (contended only):")
+	any := false
+	for _, l := range res.Locks {
+		if l.Contended > 0 {
+			fmt.Printf("  %-24s acquires=%-8d contended=%-8d wait=%.3fms\n",
+				l.Name, l.Acquires, l.Contended, float64(l.WaitTime)/1e6)
+			any = true
+		}
+	}
+	if !any {
+		fmt.Println("  (none)")
+	}
+	return nil
+}

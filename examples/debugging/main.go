@@ -1,0 +1,86 @@
+// Memory-debugging demo: the Debug configuration wraps any allocator with
+// canaries, poisoning, and a free quarantine — the tooling real allocators
+// ship for hunting heap corruption. This program commits three classic
+// crimes and shows each one being caught.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	hoard "hoardgo"
+)
+
+// catch runs f and reports the panic message the debug layer raised.
+func catch(crime string, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprint(r)
+			if i := strings.IndexByte(msg, '('); i > 0 {
+				msg = strings.TrimSpace(msg[:i])
+			}
+			fmt.Printf("%-22s caught: %s\n", crime, msg)
+			return
+		}
+		fmt.Printf("%-22s NOT caught\n", crime)
+	}()
+	f()
+}
+
+func main() {
+	fmt.Println("running three heap crimes under hoard.Config{Debug: true}")
+	fmt.Println()
+
+	// Crime 1: buffer overflow. Writing one byte past the allocation
+	// smashes the rear canary; the free detects it.
+	catch("buffer overflow", func() {
+		a := hoard.MustNew(hoard.Config{Debug: true})
+		t := a.NewThread()
+		p := t.Malloc(32)
+		// The debug layer bounds Bytes() to the requested size, so a
+		// sneaky overflow needs raw arithmetic... which Bytes refuses:
+		t.Bytes(p, 33)[32] = 0xFF
+	})
+
+	// Crime 2: double free.
+	catch("double free", func() {
+		a := hoard.MustNew(hoard.Config{Debug: true})
+		t := a.NewThread()
+		p := t.Malloc(64)
+		t.Free(p)
+		t.Free(p)
+	})
+
+	// Crime 3: write after free. The freed block is poisoned and held in
+	// quarantine; scribbling on it is detected when the block leaves
+	// quarantine (or by CheckIntegrity).
+	catch("use after free", func() {
+		a := hoard.MustNew(hoard.Config{Debug: true, DebugQuarantine: 4})
+		t := a.NewThread()
+		p := t.Malloc(64)
+		buf := t.Bytes(p, 64) // view taken while alive...
+		t.Free(p)
+		buf[10] = 0x42 // ...scribbled after death
+		for i := 0; i < 8; i++ {
+			t.Free(t.Malloc(64)) // churn the quarantine
+		}
+	})
+
+	fmt.Println()
+	fmt.Println("and a clean program passes untouched:")
+	a := hoard.MustNew(hoard.Config{Debug: true})
+	t := a.NewThread()
+	var ps []hoard.Ptr
+	for i := 0; i < 1000; i++ {
+		p := t.Malloc(1 + i%200)
+		t.Bytes(p, 1)[0] = byte(i)
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		t.Free(p)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("1000 allocations, 0 leaks, integrity clean (%d B live)\n", a.Stats().LiveBytes)
+}

@@ -1,0 +1,46 @@
+// Quickstart: allocate, use, resize, and free memory with the Hoard
+// allocator's public API, then read the allocator's statistics.
+package main
+
+import (
+	"fmt"
+
+	hoard "hoardgo"
+)
+
+func main() {
+	// A zero Config builds a Hoard allocator with the paper's parameters
+	// (8 KiB superblocks, f=1/4, size classes x1.2).
+	a := hoard.MustNew(hoard.Config{})
+
+	// Each worker goroutine registers once and allocates through its
+	// Thread. Here a single thread suffices.
+	t := a.NewThread()
+
+	// Malloc returns an opaque pointer into the allocator's address
+	// space; Bytes gives a writable view of the block.
+	p := t.Malloc(64)
+	copy(t.Bytes(p, 64), "the quick brown fox jumps over the lazy dog")
+	fmt.Printf("allocated %d usable bytes at %#x\n", t.UsableSize(p), uint64(p))
+	fmt.Printf("contents: %q\n", t.Bytes(p, 44))
+
+	// Realloc grows the block, preserving contents.
+	p = t.Realloc(p, 4096)
+	fmt.Printf("after realloc: %d usable bytes, contents intact: %q\n",
+		t.UsableSize(p), t.Bytes(p, 19))
+
+	// Calloc returns zeroed memory.
+	q := t.Calloc(128)
+	fmt.Printf("calloc'd block starts zeroed: %v\n", t.Bytes(q, 8))
+
+	t.Free(p)
+	t.Free(q)
+
+	st := a.Stats()
+	fmt.Printf("stats: %d mallocs, %d frees, %d B live, %d B footprint (peak %d B)\n",
+		st.Mallocs, st.Frees, st.LiveBytes, st.FootprintBytes, st.PeakFootprintBytes)
+	if err := a.CheckIntegrity(); err != nil {
+		panic(err)
+	}
+	fmt.Println("integrity check passed")
+}

@@ -1,0 +1,93 @@
+// Webserver simulation: the Larson-style pattern the paper calls a server
+// workload, written against the public API. A listener goroutine "accepts"
+// requests and allocates their buffers; a pool of worker goroutines parses,
+// builds responses (more allocations), and frees everything — so nearly all
+// frees are cross-thread, the pattern that melts naive multithreaded
+// allocators. Run it with -policy serial or -policy private to compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	hoard "hoardgo"
+)
+
+type request struct {
+	buf     hoard.Ptr
+	bufSize int
+}
+
+func main() {
+	policy := flag.String("policy", "hoard", "allocator policy: hoard serial private ownership threshold")
+	workers := flag.Int("workers", 4, "worker goroutines")
+	requests := flag.Int("requests", 50000, "total requests")
+	flag.Parse()
+
+	a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(*policy), Procs: *workers})
+	queue := make(chan request, 256)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := a.NewThread()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for req := range queue {
+				// "Parse": read the request buffer.
+				var checksum byte
+				for _, b := range t.Bytes(req.buf, req.bufSize) {
+					checksum ^= b
+				}
+				// "Respond": allocate a response, fill it, release
+				// both. The request buffer was allocated by the
+				// listener — a remote free.
+				respSize := 128 + rng.Intn(1024)
+				resp := t.Malloc(respSize)
+				buf := t.Bytes(resp, respSize)
+				for i := range buf {
+					buf[i] = checksum
+				}
+				t.Free(resp)
+				t.Free(req.buf)
+			}
+		}(w)
+	}
+
+	listener := a.NewThread()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < *requests; i++ {
+		size := 64 + rng.Intn(2048)
+		p := listener.Malloc(size)
+		buf := listener.Bytes(p, size)
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		queue <- request{buf: p, bufSize: size}
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := a.Stats()
+	fmt.Printf("policy      %s\n", *policy)
+	fmt.Printf("requests    %d via %d workers in %v (%.0f req/s)\n",
+		*requests, *workers, elapsed.Round(time.Millisecond),
+		float64(*requests)/elapsed.Seconds())
+	fmt.Printf("allocator   %d mallocs, %d frees, %d remote frees\n",
+		st.Mallocs, st.Frees, st.RemoteFrees)
+	fmt.Printf("memory      %d B live, peak footprint %d KiB\n",
+		st.LiveBytes, st.PeakFootprintBytes/1024)
+	if st.LiveBytes != 0 {
+		panic("leak: live bytes after all requests completed")
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		panic(err)
+	}
+	fmt.Println("integrity check passed")
+}

@@ -1,0 +1,3 @@
+module hoardgo
+
+go 1.22

@@ -1,0 +1,323 @@
+// Package hoard is a Go reproduction of the memory allocator from Berger,
+// McKinley, Blumofe & Wilson, "Hoard: A Scalable Memory Allocator for
+// Multithreaded Applications" (ASPLOS 2000), together with the baseline
+// allocators the paper compares against and the experiment harness that
+// regenerates its evaluation.
+//
+// Because the Go runtime owns real allocation, this library manages an
+// explicit, simulated address space: Malloc returns an opaque Ptr whose
+// bytes are accessed through the allocator (Bytes). The allocator
+// algorithms — superblocks, per-processor heaps, the emptiness invariant —
+// are implemented in full; see DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduced results.
+//
+// # Quick start
+//
+//	a, _ := hoard.New(hoard.Config{})
+//	t := a.NewThread()          // one per worker goroutine
+//	p := t.Malloc(100)
+//	copy(t.Bytes(p, 100), data)
+//	t.Free(p)
+//
+// Threads are the unit of concurrency: each worker goroutine registers once
+// with NewThread and uses its Thread for every operation. Any thread may
+// free memory allocated by any other — Hoard's whole point is making that
+// correct, fast, and memory-bounded.
+package hoard
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/concurrent"
+	"hoardgo/internal/core"
+	"hoardgo/internal/debugalloc"
+	"hoardgo/internal/dlheap"
+	"hoardgo/internal/env"
+	"hoardgo/internal/ownership"
+	"hoardgo/internal/private"
+	"hoardgo/internal/serial"
+	"hoardgo/internal/tcache"
+	"hoardgo/internal/threshold"
+)
+
+// Ptr is an address in the allocator's simulated address space. The zero
+// Ptr is nil.
+type Ptr = alloc.Ptr
+
+// Policy selects which allocator architecture a Config builds. The
+// non-Hoard policies implement the taxonomy of the paper's §2 and exist as
+// experimental baselines.
+type Policy string
+
+// Available policies.
+const (
+	// PolicyHoard is the paper's allocator (the default).
+	PolicyHoard Policy = "hoard"
+	// PolicySerial is a single-lock, single-heap allocator ("Solaris
+	// malloc"): not scalable, actively induces false sharing.
+	PolicySerial Policy = "serial"
+	// PolicyConcurrent is a single heap with per-size-class locks: more
+	// scalable than serial, but same-class allocations still serialize
+	// and false sharing remains.
+	PolicyConcurrent Policy = "concurrent"
+	// PolicyDLHeap is a Doug Lea-style serial allocator: boundary-tag
+	// coalescing chunks in geometric bins under one lock (the dlmalloc
+	// design). Classical low fragmentation, serial scalability.
+	PolicyDLHeap Policy = "dlheap"
+	// PolicyPrivate is pure private heaps (Cilk/STL): scalable but with
+	// unbounded blowup under producer-consumer patterns.
+	PolicyPrivate Policy = "private"
+	// PolicyOwnership is private heaps with ownership (Ptmalloc):
+	// bounded but O(P) blowup.
+	PolicyOwnership Policy = "ownership"
+	// PolicyThreshold is private heaps with thresholds (DYNIX): bounded
+	// blowup, object-granularity migration overhead and false sharing.
+	PolicyThreshold Policy = "threshold"
+)
+
+// Config configures an Allocator. The zero value builds a Hoard allocator
+// with the paper's parameters.
+type Config struct {
+	// Policy selects the allocator architecture; empty means PolicyHoard.
+	Policy Policy
+
+	// Procs sizes per-processor structures (Hoard's heap count,
+	// ownership's arena count). Zero means 8.
+	Procs int
+
+	// Hoard tunes the Hoard policy in detail; ignored by other policies.
+	// Zero fields select the paper's parameters (S=8 KiB, f=1/4, K=1,
+	// b=1.2, 2*Procs heaps).
+	Hoard core.Config
+
+	// OwnershipArenas and OwnershipSteal tune the ownership policy.
+	OwnershipArenas int
+	OwnershipSteal  bool
+
+	// ThresholdWatermark tunes the threshold policy's batch size.
+	ThresholdWatermark int
+
+	// Debug wraps the allocator with memory-debugging machinery: guard
+	// canaries around every block (overflow/underflow panics), poisoning
+	// of freed memory, and a free quarantine that catches use-after-free
+	// writes. Expensive; for development. DebugQuarantine tunes the
+	// quarantine length (0 = default, negative = disabled).
+	Debug           bool
+	DebugQuarantine int
+
+	// ThreadCacheCapacity, if positive, layers a per-thread block cache
+	// (in the style of Hoard's successors — tcmalloc, jemalloc) over the
+	// selected policy: lock-free malloc/free fast paths, bounded extra
+	// memory, and the documented return of passive false sharing. See
+	// the "tcache" experiment.
+	ThreadCacheCapacity int
+}
+
+// Allocator is a thread-safe explicit memory allocator.
+type Allocator struct {
+	impl    alloc.Allocator
+	nextTID atomic.Int64
+}
+
+// New builds an allocator from cfg.
+func New(cfg Config) (*Allocator, error) {
+	procs := cfg.Procs
+	if procs == 0 {
+		procs = 8
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("hoard: Procs %d out of range", procs)
+	}
+	lf := env.RealLockFactory{}
+	var impl alloc.Allocator
+	switch cfg.Policy {
+	case PolicyHoard, "":
+		hc := cfg.Hoard
+		if hc.Heaps == 0 {
+			hc.Heaps = 2 * procs
+		}
+		impl = core.New(hc, lf)
+	case PolicySerial:
+		impl = serial.New(cfg.Hoard.SuperblockSize, lf)
+	case PolicyConcurrent:
+		impl = concurrent.New(cfg.Hoard.SuperblockSize, lf)
+	case PolicyDLHeap:
+		impl = dlheap.New(lf)
+	case PolicyPrivate:
+		impl = private.New(cfg.Hoard.SuperblockSize, lf)
+	case PolicyOwnership:
+		arenas := cfg.OwnershipArenas
+		if arenas == 0 {
+			arenas = 2 * procs
+		}
+		impl = ownership.New(ownership.Config{
+			SuperblockSize: cfg.Hoard.SuperblockSize,
+			Arenas:         arenas,
+			Steal:          cfg.OwnershipSteal,
+		}, lf)
+	case PolicyThreshold:
+		impl = threshold.New(threshold.Config{
+			SuperblockSize: cfg.Hoard.SuperblockSize,
+			Watermark:      cfg.ThresholdWatermark,
+		}, lf)
+	default:
+		return nil, fmt.Errorf("hoard: unknown policy %q (have %v)", cfg.Policy, allocators.Names())
+	}
+	if cfg.ThreadCacheCapacity > 0 {
+		impl = tcache.New(impl, tcache.Config{Capacity: cfg.ThreadCacheCapacity})
+	}
+	if cfg.Debug {
+		impl = debugalloc.New(impl, debugalloc.Config{Quarantine: cfg.DebugQuarantine})
+	}
+	return &Allocator{impl: impl}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Allocator {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Policy returns the allocator's architecture name.
+func (a *Allocator) Policy() Policy { return Policy(a.impl.Name()) }
+
+// Thread is a worker's allocation handle. Create one per goroutine with
+// NewThread; a Thread must not be used from two goroutines at once (but any
+// Thread may free memory allocated through any other).
+type Thread struct {
+	a     *Allocator
+	inner *alloc.Thread
+}
+
+// NewThread registers a worker and returns its handle. Safe for concurrent
+// use.
+func (a *Allocator) NewThread() *Thread {
+	id := int(a.nextTID.Add(1) - 1)
+	return &Thread{a: a, inner: a.impl.NewThread(&env.RealEnv{ID: id})}
+}
+
+// ID returns the thread's registration index.
+func (t *Thread) ID() int { return t.inner.ID }
+
+// Malloc returns a block of at least size bytes. Malloc(0) returns a valid
+// minimal block.
+func (t *Thread) Malloc(size int) Ptr { return t.a.impl.Malloc(t.inner, size) }
+
+// Calloc returns a zeroed block of at least size bytes.
+func (t *Thread) Calloc(size int) Ptr {
+	p := t.Malloc(size)
+	clear(t.a.impl.Bytes(p, size))
+	return p
+}
+
+// Free releases a block. Freeing the nil Ptr is a no-op; double frees and
+// foreign pointers panic, as memory corruption in a real allocator is not
+// recoverable.
+func (t *Thread) Free(p Ptr) { t.a.impl.Free(t.inner, p) }
+
+// Realloc resizes a block, preserving min(old, new) bytes of content. A nil
+// p behaves as Malloc.
+func (t *Thread) Realloc(p Ptr, size int) Ptr {
+	if h, ok := t.a.impl.(*core.Hoard); ok {
+		return h.Realloc(t.inner, p, size)
+	}
+	if p.IsNil() {
+		return t.Malloc(size)
+	}
+	old := t.a.impl.UsableSize(p)
+	if size <= old && size > old/2 {
+		return p
+	}
+	np := t.Malloc(size)
+	n := min(old, size)
+	copy(t.a.impl.Bytes(np, n), t.a.impl.Bytes(p, n))
+	t.Free(p)
+	return np
+}
+
+// MallocAligned returns a block of at least size bytes whose address is a
+// multiple of align (a power of two). Only the Hoard policy implements
+// stronger-than-8-byte alignment natively; other policies fall back to the
+// page-aligned large-object path for align > 8.
+func (t *Thread) MallocAligned(size, align int) Ptr {
+	if h, ok := t.a.impl.(*core.Hoard); ok {
+		return h.MallocAligned(t.inner, size, align)
+	}
+	if align <= 8 {
+		return t.Malloc(size)
+	}
+	if align > 4096 {
+		panic(fmt.Sprintf("hoard: policy %q supports MallocAligned up to page alignment, got %d", t.a.impl.Name(), align))
+	}
+	// The large-object path of every policy is page-aligned.
+	if size < 4097 {
+		size = 4097
+	}
+	return t.Malloc(size)
+}
+
+// Bytes returns a writable view of n bytes of a live block. The view stays
+// valid until the block is freed.
+func (t *Thread) Bytes(p Ptr, n int) []byte { return t.a.impl.Bytes(p, n) }
+
+// UsableSize returns the usable capacity of a live block (at least the
+// requested size, rounded up to its size class).
+func (t *Thread) UsableSize(p Ptr) int { return t.a.impl.UsableSize(p) }
+
+// Stats is a snapshot of allocator activity.
+type Stats struct {
+	// Mallocs and Frees count completed operations.
+	Mallocs, Frees int64
+	// LiveBytes is the usable bytes currently allocated; PeakLiveBytes
+	// its high-water mark.
+	LiveBytes, PeakLiveBytes int64
+	// FootprintBytes is the memory currently held from the (simulated)
+	// OS; PeakFootprintBytes its high-water mark. Footprint over live is
+	// the allocator's fragmentation.
+	FootprintBytes, PeakFootprintBytes int64
+	// SuperblockMoves counts Hoard's transfers to/from the global heap.
+	SuperblockMoves int64
+	// RemoteFrees counts frees that crossed heaps.
+	RemoteFrees int64
+}
+
+// Stats returns a snapshot of the allocator's counters.
+func (a *Allocator) Stats() Stats {
+	st := a.impl.Stats()
+	sp := a.impl.Space().Stats()
+	return Stats{
+		Mallocs:            st.Mallocs,
+		Frees:              st.Frees,
+		LiveBytes:          st.LiveBytes,
+		PeakLiveBytes:      st.PeakLiveBytes,
+		FootprintBytes:     sp.Committed,
+		PeakFootprintBytes: sp.PeakCommitted,
+		SuperblockMoves:    st.SuperblockMoves,
+		RemoteFrees:        st.RemoteFrees,
+	}
+}
+
+// CheckIntegrity exhaustively validates the allocator's internal
+// invariants. It requires quiescence (no concurrent operations) and is
+// intended for tests.
+func (a *Allocator) CheckIntegrity() error { return a.impl.CheckIntegrity() }
+
+// Describe writes a human-readable snapshot of the allocator's state (in
+// the spirit of malloc_stats). Only the Hoard policy provides a detailed
+// per-heap breakdown; other policies print their counters.
+func (a *Allocator) Describe(w io.Writer) {
+	if h, ok := a.impl.(*core.Hoard); ok {
+		h.Describe(w, &env.RealEnv{})
+		return
+	}
+	st := a.Stats()
+	fmt.Fprintf(w, "%s: %d mallocs, %d frees, %d B live, %d B footprint (peak %d)\n",
+		a.impl.Name(), st.Mallocs, st.Frees, st.LiveBytes, st.FootprintBytes, st.PeakFootprintBytes)
+}

@@ -1,0 +1,163 @@
+// Package alloc defines the types shared by every allocator in this
+// reproduction: the simulated pointer type, per-thread handles, the common
+// Allocator interface, and usage accounting.
+//
+// Six allocators implement Allocator, mirroring the paper's full taxonomy
+// (§2 of DESIGN.md), plus one layered extension:
+//
+//   - internal/core:       Hoard (the paper's contribution)
+//   - internal/serial:     single-lock serial heap ("Solaris malloc"-like)
+//   - internal/concurrent: single heap, per-size-class locks (Iyengar-like)
+//   - internal/private:    pure private heaps (Cilk/STL-like)
+//   - internal/ownership:  private heaps with ownership (Ptmalloc/MTmalloc-like)
+//   - internal/threshold:  private heaps with thresholds (DYNIX-like)
+//   - internal/tcache:     per-thread magazines over any of the above
+//     (the tcmalloc direction; an extension experiment)
+package alloc
+
+import (
+	"sync/atomic"
+
+	"hoardgo/internal/env"
+	"hoardgo/internal/vm"
+)
+
+// Ptr is an address in the simulated address space. The zero value is the
+// allocator's nil.
+type Ptr uint64
+
+// IsNil reports whether p is the null pointer.
+func (p Ptr) IsNil() bool { return p == 0 }
+
+// Thread is a per-thread allocation handle. Go has no thread-local storage
+// visible to libraries, so callers register each worker with the allocator
+// (NewThread) and pass the returned Thread to every operation, the way
+// arena-style C allocators take an explicit arena argument. A Thread must
+// not be used concurrently from multiple goroutines.
+type Thread struct {
+	// ID is the thread's stable identifier (from its environment).
+	ID int
+	// Env is the thread's execution environment.
+	Env env.Env
+	// State is owned by the allocator that created this Thread and holds
+	// its per-thread structures (heap index, private heap, arena, ...).
+	State any
+}
+
+// Allocator is the interface all five allocators implement.
+type Allocator interface {
+	// Name returns a short identifier ("hoard", "serial", ...) used in
+	// benchmark output.
+	Name() string
+
+	// NewThread registers a worker and returns its allocation handle.
+	// Safe for concurrent use.
+	NewThread(e env.Env) *Thread
+
+	// Malloc returns a block of at least size bytes, or the nil Ptr only
+	// if size exceeds the allocator's maximum (none of the allocators
+	// here impose one below the address-space size). Malloc(0) returns a
+	// valid minimal block, like C malloc may.
+	Malloc(t *Thread, size int) Ptr
+
+	// Free releases a block previously returned by Malloc on the same
+	// allocator. Freeing from a different thread than the allocating one
+	// is allowed (that is the whole point of the paper). Freeing nil is
+	// a no-op; double frees and foreign pointers panic.
+	Free(t *Thread, p Ptr)
+
+	// UsableSize returns the usable byte count of a live block.
+	UsableSize(p Ptr) int
+
+	// Bytes returns a writable view of n bytes of the block at p. It
+	// panics if n exceeds the block's usable size.
+	Bytes(p Ptr, n int) []byte
+
+	// Stats returns a snapshot of the allocator's counters.
+	Stats() Stats
+
+	// Space exposes the simulated OS address space backing this
+	// allocator, for committed-memory measurements.
+	Space() *vm.Space
+
+	// CheckIntegrity exhaustively validates internal invariants (free
+	// list integrity, usage accounting, the emptiness invariant for
+	// Hoard). It requires the allocator to be quiescent and is meant for
+	// tests; it returns a descriptive error on the first violation.
+	CheckIntegrity() error
+}
+
+// Stats is a snapshot of allocator activity. Fields that do not apply to a
+// given allocator are zero.
+type Stats struct {
+	// Mallocs and Frees count completed operations.
+	Mallocs, Frees int64
+	// LiveBytes is the usable (class-rounded) bytes currently allocated.
+	LiveBytes int64
+	// PeakLiveBytes is the high-water mark of LiveBytes.
+	PeakLiveBytes int64
+	// LargeMallocs counts allocations that took the large-object path.
+	LargeMallocs int64
+	// SuperblockMoves counts superblock transfers between per-processor
+	// heaps and the global heap (Hoard only).
+	SuperblockMoves int64
+	// GlobalHeapHits counts mallocs satisfied by reusing a superblock
+	// from the global heap (Hoard only).
+	GlobalHeapHits int64
+	// OSReserves counts superblock/span requests that reached the
+	// simulated OS.
+	OSReserves int64
+	// RemoteFrees counts frees performed by a thread other than the one
+	// whose heap/arena owns the block (where the concept applies).
+	RemoteFrees int64
+	// MovedLiveBlocks sums the still-allocated blocks carried by
+	// superblocks at the moment they were evicted to the global heap
+	// (Hoard only) — each becomes a future remote free.
+	MovedLiveBlocks int64
+}
+
+// Accounting provides atomic live-byte gauges with a high-water mark,
+// shared by all allocator implementations.
+type Accounting struct {
+	mallocs atomic.Int64
+	frees   atomic.Int64
+	live    atomic.Int64
+	peak    atomic.Int64
+	large   atomic.Int64
+}
+
+// OnMalloc records an allocation of usable size n.
+func (a *Accounting) OnMalloc(n int) {
+	a.mallocs.Add(1)
+	v := a.live.Add(int64(n))
+	for {
+		p := a.peak.Load()
+		if v <= p || a.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// OnFree records a deallocation of usable size n.
+func (a *Accounting) OnFree(n int) {
+	a.frees.Add(1)
+	a.live.Add(int64(-n))
+}
+
+// OnLarge records that an allocation took the large-object path.
+func (a *Accounting) OnLarge() { a.large.Add(1) }
+
+// Fill populates the common fields of st.
+func (a *Accounting) Fill(st *Stats) {
+	st.Mallocs = a.mallocs.Load()
+	st.Frees = a.frees.Load()
+	st.LiveBytes = a.live.Load()
+	st.PeakLiveBytes = a.peak.Load()
+	st.LargeMallocs = a.large.Load()
+}
+
+// Live returns the current live usable bytes.
+func (a *Accounting) Live() int64 { return a.live.Load() }
+
+// ResetPeak lowers the live-bytes high-water mark to the current value.
+func (a *Accounting) ResetPeak() { a.peak.Store(a.live.Load()) }

@@ -1,0 +1,42 @@
+package alloc
+
+import (
+	"fmt"
+
+	"hoardgo/internal/env"
+	"hoardgo/internal/vm"
+)
+
+// LargeObj tags a span holding a single large object (one bigger than the
+// allocator's largest size class). Every allocator here uses the same
+// large-object policy the paper describes for Hoard: large objects come
+// straight from the OS and return to it on free.
+type LargeObj struct {
+	// Size is the object's usable size (the page-rounded span length).
+	Size int
+}
+
+// MallocLarge reserves a large object from the OS, records it against acct,
+// and returns its address.
+func MallocLarge(space *vm.Space, acct *Accounting, e env.Env, size int) Ptr {
+	lo := &LargeObj{}
+	sp := space.Reserve(size, vm.PageSize, lo)
+	lo.Size = sp.Len
+	e.Charge(env.OpOSAlloc, 1)
+	e.Charge(env.OpMallocSlow, 1)
+	acct.OnLarge()
+	acct.OnMalloc(sp.Len)
+	return Ptr(sp.Base)
+}
+
+// FreeLarge returns a large object's span to the OS. p must be the span's
+// base address.
+func FreeLarge(space *vm.Space, acct *Accounting, e env.Env, name string, sp *vm.Span, p Ptr) {
+	if uint64(p) != sp.Base {
+		panic(fmt.Sprintf("%s: free of interior large-object pointer %#x", name, uint64(p)))
+	}
+	acct.OnFree(sp.Owner.(*LargeObj).Size)
+	space.Release(sp)
+	e.Charge(env.OpOSAlloc, 1)
+	e.Charge(env.OpFree, 1)
+}

@@ -1,0 +1,152 @@
+// Package cachesim models cache-line coherence traffic for the simulated
+// multiprocessor.
+//
+// The paper's false-sharing experiments measure one effect: when blocks
+// residing on the same cache line are written by threads on different
+// processors, the line ping-pongs between caches and every write pays a
+// remote-transfer latency. This model captures exactly that with a per-line
+// directory in MSI style: each 64-byte line tracks a sharer set and a last
+// writer. A write by a CPU that is not the exclusive owner invalidates other
+// copies and pays the remote cost if any other cache held the line; a read
+// miss pays a transfer from the owning cache or memory. Cache capacity is
+// modelled as infinite — capacity misses affect all allocators alike, while
+// coherence misses are precisely the allocator-induced effect under study.
+//
+// The model is not safe for concurrent use; the discrete-event scheduler
+// (internal/simproc) serializes all accesses in virtual-time order.
+package cachesim
+
+// LineShift is log2 of the modelled cache-line size (64 bytes, as on the
+// paper's UltraSPARC and on all mainstream hardware since).
+const LineShift = 6
+
+// LineSize is the modelled cache-line size.
+const LineSize = 1 << LineShift
+
+// Costs parameterizes access latencies in virtual nanoseconds.
+type Costs struct {
+	// Hit is the latency of a hit in the local cache.
+	Hit int64
+	// ColdMiss is the latency of fetching a line no cache holds.
+	ColdMiss int64
+	// RemoteTransfer is the latency of obtaining a line another CPU's
+	// cache holds (the false-sharing penalty).
+	RemoteTransfer int64
+}
+
+// DefaultCosts approximates a late-1990s SMP (the paper's Sun Enterprise
+// 5000): ~3ns L1 hit, ~150ns memory, ~300ns cache-to-cache transfer.
+var DefaultCosts = Costs{Hit: 3, ColdMiss: 150, RemoteTransfer: 300}
+
+// Stats counts classified accesses.
+type Stats struct {
+	// Hits are accesses satisfied by the local cache.
+	Hits int64
+	// ColdMisses are first-ever touches of a line.
+	ColdMisses int64
+	// RemoteTransfers are lines obtained from another CPU's cache —
+	// including every false-sharing ping-pong.
+	RemoteTransfers int64
+	// Invalidations counts sharer copies invalidated by writes.
+	Invalidations int64
+}
+
+type line struct {
+	sharers uint64 // bit per CPU with a valid copy
+	owner   int8   // CPU with the only dirty copy, -1 if clean
+}
+
+// Model is the coherence simulator.
+type Model struct {
+	costs Costs
+	lines map[uint64]*line
+	stats Stats
+}
+
+// New creates a model with the given costs.
+func New(costs Costs) *Model {
+	return &Model{costs: costs, lines: make(map[uint64]*line)}
+}
+
+// Access simulates cpu touching n bytes at addr (write or read) and returns
+// the modelled latency. Multi-line accesses pay per line. cpu must be in
+// [0, 64).
+func (m *Model) Access(cpu int, addr uint64, n int, write bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	var total int64
+	first := addr >> LineShift
+	last := (addr + uint64(n) - 1) >> LineShift
+	for la := first; la <= last; la++ {
+		total += m.accessLine(cpu, la, write)
+	}
+	return total
+}
+
+func (m *Model) accessLine(cpu int, la uint64, write bool) int64 {
+	bit := uint64(1) << uint(cpu)
+	l, ok := m.lines[la]
+	if !ok {
+		l = &line{owner: -1}
+		m.lines[la] = l
+	}
+	switch {
+	case write:
+		switch {
+		case l.owner == int8(cpu) && l.sharers == bit:
+			// Exclusive dirty in our cache.
+			m.stats.Hits++
+			return m.costs.Hit
+		case l.sharers == 0:
+			// Nobody holds it: cold (or evicted-clean) miss.
+			m.stats.ColdMisses++
+			l.sharers, l.owner = bit, int8(cpu)
+			return m.costs.ColdMiss
+		default:
+			// Some other cache holds a copy: invalidate them all.
+			others := l.sharers &^ bit
+			if others != 0 {
+				m.stats.Invalidations += int64(popcount(others))
+				m.stats.RemoteTransfers++
+				l.sharers, l.owner = bit, int8(cpu)
+				return m.costs.RemoteTransfer
+			}
+			// Only we hold it, but shared-clean: cheap upgrade.
+			m.stats.Hits++
+			l.owner = int8(cpu)
+			return m.costs.Hit
+		}
+	default: // read
+		switch {
+		case l.sharers&bit != 0:
+			m.stats.Hits++
+			return m.costs.Hit
+		case l.sharers == 0:
+			m.stats.ColdMisses++
+			l.sharers, l.owner = bit, -1
+			return m.costs.ColdMiss
+		default:
+			// Another cache supplies the line; it becomes shared.
+			m.stats.RemoteTransfers++
+			l.sharers |= bit
+			l.owner = -1
+			return m.costs.RemoteTransfer
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Stats returns the access counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Lines returns the number of distinct lines ever touched.
+func (m *Model) Lines() int { return len(m.lines) }

@@ -1,0 +1,118 @@
+package cachesim
+
+import "testing"
+
+func TestColdThenHit(t *testing.T) {
+	m := New(DefaultCosts)
+	if got := m.Access(0, 0x1000, 8, false); got != DefaultCosts.ColdMiss {
+		t.Fatalf("cold read cost %d, want %d", got, DefaultCosts.ColdMiss)
+	}
+	if got := m.Access(0, 0x1008, 8, false); got != DefaultCosts.Hit {
+		t.Fatalf("same-line read cost %d, want hit %d", got, DefaultCosts.Hit)
+	}
+	st := m.Stats()
+	if st.ColdMisses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteExclusiveHit(t *testing.T) {
+	m := New(DefaultCosts)
+	m.Access(3, 0x2000, 8, true)
+	if got := m.Access(3, 0x2010, 8, true); got != DefaultCosts.Hit {
+		t.Fatalf("exclusive rewrite cost %d, want hit", got)
+	}
+}
+
+func TestFalseSharingPingPong(t *testing.T) {
+	// Two CPUs writing different bytes of the same line: every write after
+	// the first transfers the line — the paper's false-sharing effect.
+	m := New(DefaultCosts)
+	m.Access(0, 0x3000, 8, true)
+	for i := 0; i < 10; i++ {
+		if got := m.Access(1, 0x3008, 8, true); got != DefaultCosts.RemoteTransfer {
+			t.Fatalf("iter %d: cpu1 write cost %d, want remote %d", i, got, DefaultCosts.RemoteTransfer)
+		}
+		if got := m.Access(0, 0x3000, 8, true); got != DefaultCosts.RemoteTransfer {
+			t.Fatalf("iter %d: cpu0 write cost %d, want remote %d", i, got, DefaultCosts.RemoteTransfer)
+		}
+	}
+	if st := m.Stats(); st.RemoteTransfers != 20 {
+		t.Fatalf("RemoteTransfers = %d, want 20", st.RemoteTransfers)
+	}
+}
+
+func TestDistinctLinesNoSharing(t *testing.T) {
+	// Two CPUs writing different lines: after warmup, all hits.
+	m := New(DefaultCosts)
+	m.Access(0, 0x4000, 8, true)
+	m.Access(1, 0x4040, 8, true)
+	for i := 0; i < 10; i++ {
+		if got := m.Access(0, 0x4000, 8, true); got != DefaultCosts.Hit {
+			t.Fatalf("cpu0 isolated write cost %d", got)
+		}
+		if got := m.Access(1, 0x4040, 8, true); got != DefaultCosts.Hit {
+			t.Fatalf("cpu1 isolated write cost %d", got)
+		}
+	}
+	if st := m.Stats(); st.RemoteTransfers != 0 {
+		t.Fatalf("RemoteTransfers = %d on disjoint lines", st.RemoteTransfers)
+	}
+}
+
+func TestReadSharingIsCheapAfterFetch(t *testing.T) {
+	m := New(DefaultCosts)
+	m.Access(0, 0x5000, 8, true)
+	if got := m.Access(1, 0x5000, 8, false); got != DefaultCosts.RemoteTransfer {
+		t.Fatalf("first remote read cost %d", got)
+	}
+	// Both may now read freely.
+	if got := m.Access(0, 0x5000, 8, false); got != DefaultCosts.Hit {
+		t.Fatalf("owner re-read cost %d", got)
+	}
+	if got := m.Access(1, 0x5000, 8, false); got != DefaultCosts.Hit {
+		t.Fatalf("sharer re-read cost %d", got)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := New(DefaultCosts)
+	m.Access(0, 0x6000, 8, false)
+	m.Access(1, 0x6000, 8, false)
+	m.Access(2, 0x6000, 8, false)
+	before := m.Stats().Invalidations
+	m.Access(0, 0x6000, 8, true)
+	if got := m.Stats().Invalidations - before; got != 2 {
+		t.Fatalf("invalidated %d sharers, want 2", got)
+	}
+	// Prior sharers must now miss.
+	if got := m.Access(1, 0x6000, 8, false); got != DefaultCosts.RemoteTransfer {
+		t.Fatalf("invalidated reader cost %d, want remote transfer", got)
+	}
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	m := New(DefaultCosts)
+	// 130 bytes starting mid-line spans 3 lines.
+	if got := m.Access(0, 0x7020, 130, true); got != 3*DefaultCosts.ColdMiss {
+		t.Fatalf("multi-line cold write cost %d, want %d", got, 3*DefaultCosts.ColdMiss)
+	}
+	if m.Lines() != 3 {
+		t.Fatalf("Lines = %d, want 3", m.Lines())
+	}
+}
+
+func TestZeroLengthAccess(t *testing.T) {
+	m := New(DefaultCosts)
+	if got := m.Access(0, 0x8000, 0, true); got != 0 {
+		t.Fatalf("zero-length access cost %d", got)
+	}
+}
+
+func TestUpgradeFromOwnClean(t *testing.T) {
+	m := New(DefaultCosts)
+	m.Access(0, 0x9000, 8, false) // clean copy, sole sharer
+	if got := m.Access(0, 0x9000, 8, true); got != DefaultCosts.Hit {
+		t.Fatalf("upgrade write cost %d, want hit", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package concurrent implements the remaining row of the paper's allocator
+// taxonomy (§2.1): a *concurrent single heap*, after allocators like
+// Iyengar's and Johnson & Davis's that replace the serial heap's one lock
+// with fine-grained per-size-class locking (the paper discusses
+// concurrent-B-tree and per-freelist-lock designs).
+//
+// One heap is shared by all threads, but each size class has its own lock,
+// so threads allocating different sizes proceed in parallel. This fixes a
+// slice of the serial allocator's scalability problem — and nothing else:
+// same-class allocations still serialize (and most programs allocate a few
+// hot sizes), blocks are still handed out line-adjacent to different
+// threads (active false sharing), and memory still never moves between
+// uses, though a single heap at least avoids blowup entirely. The paper's
+// point is that heap concurrency without per-processor ownership is not
+// enough; this implementation lets the experiments show it.
+package concurrent
+
+import (
+	"fmt"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/heap"
+	"hoardgo/internal/sizeclass"
+	"hoardgo/internal/superblock"
+	"hoardgo/internal/vm"
+)
+
+// Allocator is the concurrent single-heap allocator.
+type Allocator struct {
+	space   *vm.Space
+	classes *sizeclass.Table
+	sbSize  int
+	// One heap per size class, each with its own lock; a "heap" here is
+	// just the fullness-group machinery for that class's superblocks.
+	classHeaps []*heap.Heap
+	acct       alloc.Accounting
+}
+
+// New creates a concurrent single-heap allocator with superblock size
+// sbSize (0 selects the default 8 KiB).
+func New(sbSize int, lf env.LockFactory) *Allocator {
+	if sbSize == 0 {
+		sbSize = superblock.DefaultSize
+	}
+	classes := sizeclass.New(sizeclass.DefaultBase, sizeclass.Quantum, sbSize/2)
+	a := &Allocator{
+		space:   vm.New(),
+		classes: classes,
+		sbSize:  sbSize,
+	}
+	a.classHeaps = make([]*heap.Heap, classes.NumClasses())
+	for c := range a.classHeaps {
+		// Heap ids mirror class indices; emptiness parameters are
+		// inert (a single shared heap never evicts).
+		a.classHeaps[c] = heap.New(c, sbSize, 0.5, 0, classes.NumClasses(),
+			lf.NewLock(fmt.Sprintf("concurrent.class%d", c)))
+	}
+	return a
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "concurrent" }
+
+// Space implements alloc.Allocator.
+func (a *Allocator) Space() *vm.Space { return a.space }
+
+// NewThread implements alloc.Allocator; the concurrent heap keeps no
+// per-thread state (that is its defining limitation).
+func (a *Allocator) NewThread(e env.Env) *alloc.Thread {
+	return &alloc.Thread{ID: e.ThreadID(), Env: e}
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
+	e := t.Env
+	if size > a.classes.MaxSize() {
+		return alloc.MallocLarge(a.space, &a.acct, e, size)
+	}
+	class, _ := a.classes.ClassFor(size)
+	blockSize := a.classes.Size(class)
+	h := a.classHeaps[class]
+	h.Lock.Lock(e)
+	p, ok := h.AllocBlock(e, class)
+	if !ok {
+		e.Charge(env.OpMallocSlow, 1)
+		e.Charge(env.OpOSAlloc, 1)
+		h.Insert(superblock.New(a.space, a.sbSize, class, blockSize))
+		p, _ = h.AllocBlock(e, class)
+	}
+	h.Lock.Unlock(e)
+	e.Charge(env.OpMallocFast, 1)
+	a.acct.OnMalloc(blockSize)
+	return p
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(t *alloc.Thread, p alloc.Ptr) {
+	if p.IsNil() {
+		return
+	}
+	e := t.Env
+	sp := a.space.Lookup(uint64(p))
+	if sp == nil {
+		panic(fmt.Sprintf("concurrent: free of unknown pointer %#x", uint64(p)))
+	}
+	switch owner := sp.Owner.(type) {
+	case *alloc.LargeObj:
+		alloc.FreeLarge(a.space, &a.acct, e, "concurrent", sp, p)
+	case *superblock.Superblock:
+		h := a.classHeaps[owner.Class()]
+		h.Lock.Lock(e)
+		h.FreeBlock(e, owner, p)
+		h.Lock.Unlock(e)
+		e.Charge(env.OpFree, 1)
+		a.acct.OnFree(owner.BlockSize())
+	default:
+		panic(fmt.Sprintf("concurrent: free of foreign pointer %#x", uint64(p)))
+	}
+}
+
+// UsableSize implements alloc.Allocator.
+func (a *Allocator) UsableSize(p alloc.Ptr) int {
+	sp := a.space.Lookup(uint64(p))
+	if sp == nil {
+		panic(fmt.Sprintf("concurrent: UsableSize of unknown pointer %#x", uint64(p)))
+	}
+	switch owner := sp.Owner.(type) {
+	case *alloc.LargeObj:
+		return owner.Size
+	case *superblock.Superblock:
+		return owner.BlockSize()
+	}
+	panic(fmt.Sprintf("concurrent: UsableSize of foreign pointer %#x", uint64(p)))
+}
+
+// Bytes implements alloc.Allocator.
+func (a *Allocator) Bytes(p alloc.Ptr, n int) []byte {
+	if n > a.UsableSize(p) {
+		panic(fmt.Sprintf("concurrent: Bytes(%#x, %d) exceeds usable size", uint64(p), n))
+	}
+	return a.space.Bytes(uint64(p), n)
+}
+
+// Stats implements alloc.Allocator.
+func (a *Allocator) Stats() alloc.Stats {
+	var st alloc.Stats
+	a.acct.Fill(&st)
+	st.OSReserves = a.space.Stats().Reserves
+	return st
+}
+
+// CheckIntegrity implements alloc.Allocator.
+func (a *Allocator) CheckIntegrity() error {
+	var u int64
+	var held int64
+	for _, h := range a.classHeaps {
+		if err := h.CheckIntegrity(); err != nil {
+			return err
+		}
+		u += h.U()
+		held += h.A()
+	}
+	large := a.space.Committed() - held
+	if got := u + large; got != a.acct.Live() {
+		return fmt.Errorf("concurrent: live accounting %d != heaps %d + large %d", a.acct.Live(), u, large)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/alloctest"
+	"hoardgo/internal/env"
+)
+
+var lf = env.RealLockFactory{}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator { return New(0, lf) })
+}
+
+// TestDistinctClassesDistinctLocks pins the design: allocations in
+// different size classes touch different locks, so they can proceed in
+// parallel. We verify the structural property (distinct heaps per class).
+func TestDistinctClassesDistinctLocks(t *testing.T) {
+	a := New(0, lf)
+	c8, _ := a.classes.ClassFor(8)
+	c1024, _ := a.classes.ClassFor(1024)
+	if c8 == c1024 {
+		t.Fatal("test sizes share a class")
+	}
+	if a.classHeaps[c8] == a.classHeaps[c1024] {
+		t.Fatal("classes share a heap")
+	}
+	if a.classHeaps[c8].Lock == a.classHeaps[c1024].Lock {
+		t.Fatal("classes share a lock")
+	}
+}
+
+// TestNoBlowup: a single shared heap reuses every freed block regardless of
+// which thread freed it, so producer-consumer memory is flat — the one
+// strength of this design.
+func TestNoBlowup(t *testing.T) {
+	a := New(0, lf)
+	producer := a.NewThread(&env.RealEnv{ID: 0})
+	consumer := a.NewThread(&env.RealEnv{ID: 1})
+	var after10 int64
+	for r := 0; r < 60; r++ {
+		ps := make([]alloc.Ptr, 200)
+		for i := range ps {
+			ps[i] = a.Malloc(producer, 64)
+		}
+		for _, p := range ps {
+			a.Free(consumer, p)
+		}
+		if r == 9 {
+			after10 = a.Space().Committed()
+		}
+	}
+	if got := a.Space().Committed(); got != after10 {
+		t.Fatalf("committed grew %d -> %d; single heap must not blow up", after10, got)
+	}
+}
+
+// TestActiveFalseSharingStructural: consecutive same-class allocations from
+// different threads are adjacent (line-sharing) — the weakness this design
+// shares with the serial allocator.
+func TestActiveFalseSharingStructural(t *testing.T) {
+	a := New(0, lf)
+	t0 := a.NewThread(&env.RealEnv{ID: 0})
+	t1 := a.NewThread(&env.RealEnv{ID: 1})
+	p0 := a.Malloc(t0, 8)
+	p1 := a.Malloc(t1, 8)
+	d := int64(p1) - int64(p0)
+	if d < 0 {
+		d = -d
+	}
+	if d >= 64 {
+		t.Fatalf("blocks %d bytes apart; expected same cache line", d)
+	}
+}
+
+func TestConcurrentMixedClasses(t *testing.T) {
+	a := New(0, lf)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.NewThread(&env.RealEnv{ID: w})
+			var ps []alloc.Ptr
+			for i := 0; i < 3000; i++ {
+				ps = append(ps, a.Malloc(th, 8<<uint(w%5)))
+			}
+			for _, p := range ps {
+				a.Free(th, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Stats().LiveBytes; got != 0 {
+		t.Fatalf("LiveBytes = %d", got)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

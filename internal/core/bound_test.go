@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hoardgo/internal/alloc"
+)
+
+// TestPropertyBlowupBoundContinuous is the paper's Theorem 1 (A(t) = O(U(t)
+// + P)) checked at every step of random multi-threaded malloc/free
+// interleavings, across empty fractions and K values:
+//
+//	committed(t) <= usableLive(t)/(1-f) + slack
+//
+// where the slack term covers what the proof's constants cover — up to one
+// partially-carved superblock per touched size class per heap (mallocs
+// fetch a superblock only when a class has no free block) plus the K-
+// superblock invariant slack per heap, plus superblocks parked on the
+// global heap, which count toward A(t) but are reusable by any heap (the
+// theorem's O(P) additive term).
+func TestPropertyBlowupBoundContinuous(t *testing.T) {
+	type scenario struct {
+		f     float64
+		k     int
+		heaps int
+	}
+	scenarios := []scenario{
+		{0.25, 1, 4},
+		{0.25, KNone, 4},
+		{0.5, 2, 2},
+		{0.125, 1, 8},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			h := New(Config{EmptyFraction: sc.f, K: sc.k, Heaps: sc.heaps}, lf)
+			k := sc.k
+			if k == KNone {
+				k = 0
+			}
+			threads := make([]*alloc.Thread, sc.heaps)
+			for i := range threads {
+				threads[i] = thread(h, i)
+			}
+			classesTouched := map[int]bool{}
+			type obj struct {
+				p  alloc.Ptr
+				th int
+			}
+			var live []obj
+			S := int64(h.cfg.SuperblockSize)
+			for op := 0; op < 1500; op++ {
+				if len(live) == 0 || rng.Intn(2) == 0 {
+					ti := rng.Intn(len(threads))
+					sz := 1 + rng.Intn(4096)
+					c, _ := h.Classes().ClassFor(sz)
+					classesTouched[c] = true
+					live = append(live, obj{h.Malloc(threads[ti], sz), ti})
+				} else {
+					i := rng.Intn(len(live))
+					// Free from a random thread (cross-thread frees
+					// are the hard case for the bound).
+					h.Free(threads[rng.Intn(len(threads))], live[i].p)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				u := h.Stats().LiveBytes
+				a := h.Space().Committed()
+				perHeap := int64(len(classesTouched)+k+1) * S
+				bound := int64(float64(u)/(1-sc.f)) + perHeap*int64(sc.heaps) + globalHeld(h)
+				if a > bound {
+					t.Logf("scenario %+v seed %d op %d: committed %d > bound %d (u=%d, global=%d)",
+						sc, seed, op, a, bound, u, globalHeld(h))
+					return false
+				}
+			}
+			return h.CheckIntegrity() == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+			t.Errorf("scenario %+v: %v", sc, err)
+		}
+	}
+}
+
+// globalHeld returns the bytes held by the global heap — reusable by every
+// per-processor heap, and therefore part of the theorem's additive constant
+// rather than true blowup.
+func globalHeld(h *Hoard) int64 {
+	_, a, _ := h.HeapSnapshot(0)
+	return a
+}

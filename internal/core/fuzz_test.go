@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+)
+
+// FuzzOpSequence drives the allocator with an arbitrary byte-coded
+// operation sequence across several threads and demands the usual safety
+// properties: no double hand-outs, accounting that reaches zero, and an
+// intact heap afterwards. Each byte pair encodes (op/thread, size).
+func FuzzOpSequence(f *testing.F) {
+	f.Add([]byte{0x00, 0x08, 0x40, 0x10, 0x80, 0x00})
+	f.Add([]byte{0x01, 0xFF, 0x41, 0x7F, 0x81, 0x3F, 0xC1, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := New(Config{Heaps: 3}, lf)
+		threads := []*alloc.Thread{thread(h, 0), thread(h, 1), thread(h, 2)}
+		type obj struct {
+			p  alloc.Ptr
+			sz int
+		}
+		var live []obj
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i]
+			th := threads[int(op>>1)%len(threads)]
+			switch {
+			case op&1 == 0 || len(live) == 0: // malloc
+				sz := int(data[i+1])*37 + 1 // up to ~9.4KB, crossing the large threshold
+				p := h.Malloc(th, sz)
+				if p.IsNil() {
+					t.Fatalf("Malloc(%d) = nil", sz)
+				}
+				h.Bytes(p, 1)[0] = op
+				live = append(live, obj{p, sz})
+			default: // free a pseudo-random live object
+				idx := int(data[i+1]) % len(live)
+				h.Free(th, live[idx].p)
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, o := range live {
+			h.Free(threads[0], o.p)
+		}
+		if got := h.Stats().LiveBytes; got != 0 {
+			t.Fatalf("LiveBytes = %d after teardown", got)
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

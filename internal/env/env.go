@@ -1,0 +1,146 @@
+// Package env abstracts the execution environment an allocator runs in.
+//
+// The Hoard reproduction runs the same allocator code in two environments:
+//
+//   - Real: locks are sync.Mutex, cost charging and cache touches are no-ops,
+//     and goroutines run truly concurrently. Used by stress tests, examples,
+//     and wall-clock benchmarks.
+//
+//   - Simulated: locks are virtual locks managed by the discrete-event
+//     multiprocessor simulator (internal/simproc), Charge advances a virtual
+//     clock, and Touch drives a cache-coherence model (internal/cachesim).
+//     Used to reproduce the paper's 1-14 processor speedup figures on any
+//     host, deterministically.
+//
+// Allocator code is written once against these interfaces; which environment
+// it observes is decided by the Thread handles passed into each operation and
+// the LockFactory passed at construction.
+package env
+
+import "sync"
+
+// CostKind names an abstract unit of allocator or application work. The
+// simulator maps each kind to virtual nanoseconds via its cost model; the
+// real environment ignores charges entirely.
+type CostKind int
+
+const (
+	// OpMallocFast is the bookkeeping cost of a malloc that is satisfied
+	// from a superblock already owned by the calling thread's heap.
+	OpMallocFast CostKind = iota
+	// OpMallocSlow is the extra cost of a malloc that must visit the
+	// global heap or the OS to obtain a superblock.
+	OpMallocSlow
+	// OpFree is the bookkeeping cost of a free.
+	OpFree
+	// OpListScan is the cost of inspecting one superblock or free-list
+	// node while searching for free space.
+	OpListScan
+	// OpSuperblockMove is the cost of transferring one superblock between
+	// heaps (unlinking, relinking, statistics updates).
+	OpSuperblockMove
+	// OpOSAlloc is the cost of obtaining or returning memory from the
+	// simulated OS (an mmap-equivalent).
+	OpOSAlloc
+	// OpWork is application-level computation, in abstract work units as
+	// charged by workloads (the cost model scales it to time).
+	OpWork
+	// NumCostKinds is the number of distinct cost kinds.
+	NumCostKinds
+)
+
+// String returns a short human-readable name for the cost kind.
+func (k CostKind) String() string {
+	switch k {
+	case OpMallocFast:
+		return "malloc-fast"
+	case OpMallocSlow:
+		return "malloc-slow"
+	case OpFree:
+		return "free"
+	case OpListScan:
+		return "list-scan"
+	case OpSuperblockMove:
+		return "superblock-move"
+	case OpOSAlloc:
+		return "os-alloc"
+	case OpWork:
+		return "work"
+	default:
+		return "unknown"
+	}
+}
+
+// Env is the per-thread view of the execution environment. An Env value is
+// only ever used by the single thread it was created for; it is not safe for
+// concurrent use (each thread gets its own).
+type Env interface {
+	// Charge records n units of work of the given kind against the
+	// calling thread's clock. In the real environment this is a no-op.
+	Charge(kind CostKind, n int64)
+
+	// Touch records a memory access of n bytes at the given simulated
+	// address, driving the cache-coherence cost model. write reports
+	// whether the access mutates the memory. No-op in the real
+	// environment.
+	Touch(addr uint64, n int, write bool)
+
+	// ThreadID returns the stable identifier of the thread this Env
+	// belongs to. IDs are small non-negative integers assigned in spawn
+	// order.
+	ThreadID() int
+}
+
+// Lock is a mutual-exclusion lock usable from either environment. Methods
+// take the caller's Env so the simulator knows which virtual thread is
+// acquiring or blocking.
+type Lock interface {
+	// Lock acquires the lock, blocking (in real or virtual time) until it
+	// is available.
+	Lock(e Env)
+	// Unlock releases the lock, which must be held by the calling thread.
+	Unlock(e Env)
+	// TryLock acquires the lock if it is immediately available and
+	// reports whether it did. Used by the ptmalloc-style baseline's
+	// arena-stealing path.
+	TryLock(e Env) bool
+}
+
+// LockFactory creates locks bound to one environment. Allocators receive a
+// factory at construction so all their internal locks live in the same world
+// as the threads that will use them.
+type LockFactory interface {
+	// NewLock returns a new unlocked lock. The name is used for
+	// contention statistics and debugging.
+	NewLock(name string) Lock
+}
+
+// --- Real environment ---
+
+// RealEnv is the production environment: charges and touches are no-ops.
+type RealEnv struct {
+	// ID is the thread identifier returned by ThreadID.
+	ID int
+}
+
+// Charge implements Env as a no-op.
+func (*RealEnv) Charge(CostKind, int64) {}
+
+// Touch implements Env as a no-op.
+func (*RealEnv) Touch(uint64, int, bool) {}
+
+// ThreadID returns the configured thread identifier.
+func (e *RealEnv) ThreadID() int { return e.ID }
+
+// RealLockFactory creates sync.Mutex-backed locks.
+type RealLockFactory struct{}
+
+// NewLock returns a lock backed by a sync.Mutex.
+func (RealLockFactory) NewLock(string) Lock { return &realLock{} }
+
+type realLock struct{ mu sync.Mutex }
+
+func (l *realLock) Lock(Env)   { l.mu.Lock() }
+func (l *realLock) Unlock(Env) { l.mu.Unlock() }
+
+func (l *realLock) TryLock(Env) bool { return l.mu.TryLock() }

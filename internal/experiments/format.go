@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OutputFormat selects how figures and tables are rendered.
+type OutputFormat string
+
+// Formats.
+const (
+	// FormatText is the aligned plain-text default.
+	FormatText OutputFormat = "text"
+	// FormatCSV emits comma-separated values for plotting.
+	FormatCSV OutputFormat = "csv"
+	// FormatMarkdown emits GitHub-flavored tables.
+	FormatMarkdown OutputFormat = "md"
+)
+
+// ParseFormat validates a format flag value.
+func ParseFormat(s string) (OutputFormat, error) {
+	switch OutputFormat(s) {
+	case FormatText, FormatCSV, FormatMarkdown:
+		return OutputFormat(s), nil
+	}
+	return "", fmt.Errorf("unknown format %q (want text, csv, or md)", s)
+}
+
+// Render writes the figure in the requested format.
+func (f Figure) Render(w io.Writer, format OutputFormat) {
+	switch format {
+	case FormatCSV:
+		f.renderCSV(w)
+	case FormatMarkdown:
+		f.renderMarkdown(w)
+	default:
+		f.Format(w)
+	}
+}
+
+// cells returns the figure as header + rows of formatted values.
+func (f Figure) cells() (header []string, rows [][]string) {
+	header = []string{"allocator"}
+	for _, p := range f.Procs {
+		header = append(header, fmt.Sprintf("P=%d", p))
+	}
+	for _, s := range f.Series {
+		row := []string{s.Allocator}
+		if f.Def.Metric == "throughput" {
+			for _, v := range s.Throughputs() {
+				row = append(row, fmt.Sprintf("%.0f", v))
+			}
+		} else {
+			for _, v := range s.Speedup() {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}
+
+func (f Figure) renderCSV(w io.Writer) {
+	header, rows := f.cells()
+	fmt.Fprintf(w, "# %s (%s): %s\n", f.Def.ID, f.Def.Metric, f.Def.Paper)
+	writeCSV(w, header, rows)
+}
+
+func (f Figure) renderMarkdown(w io.Writer) {
+	header, rows := f.cells()
+	fmt.Fprintf(w, "**%s** — %s\n\n", f.Def.Title, f.Def.Paper)
+	writeMarkdown(w, header, rows)
+}
+
+// Render writes the table in the requested format.
+func (t Table) Render(w io.Writer, format OutputFormat) {
+	switch format {
+	case FormatCSV:
+		fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Paper)
+		writeCSV(w, t.Header, t.Rows)
+	case FormatMarkdown:
+		fmt.Fprintf(w, "**%s** — %s\n\n", t.Title, t.Paper)
+		writeMarkdown(w, t.Header, t.Rows)
+	default:
+		t.Format(w)
+	}
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeMarkdown(w io.Writer, header []string, rows [][]string) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,339 @@
+// Package heap implements Hoard's per-processor heap structure.
+//
+// A heap owns a set of superblocks, organized per size class into a small
+// number of fullness groups (doubly-linked lists bucketed by allocated
+// fraction). Allocation searches a class's groups from mostly-full to
+// mostly-empty, which both improves locality and lets nearly-empty
+// superblocks drain so they can be recycled. The heap tracks u(i), the bytes
+// in use, and a(i), the bytes held in superblocks, and exposes the paper's
+// emptiness invariant
+//
+//	u(i) >= a(i) - K*S  OR  u(i) >= (1-f)*a(i)
+//
+// which the Hoard allocator (internal/core) restores after each free by
+// moving an at-least-f-empty superblock to the global heap.
+//
+// Locking: a Heap performs no locking itself. Every method must be called
+// with the heap's Lock held; internal/core owns the locking protocol
+// (including the re-check dance when superblock ownership changes while a
+// freeing thread waits).
+package heap
+
+import (
+	"fmt"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/superblock"
+)
+
+// NumGroups is the number of fullness groups per size class for non-full
+// superblocks; an additional group holds completely full superblocks.
+const NumGroups = 4
+
+// fullGroup is the group index for completely full superblocks.
+const fullGroup = NumGroups
+
+// Heap is one Hoard heap (per-processor or global).
+type Heap struct {
+	// ID is the heap's index: 0 is the global heap, 1..N are
+	// per-processor heaps.
+	ID int
+	// Lock serializes all access to the heap. Held by callers.
+	Lock env.Lock
+
+	sbSize  int
+	fEmpty  float64
+	k       int
+	u, a    int64
+	classes []classGroups
+	nSuper  int
+}
+
+type classGroups struct {
+	groups [NumGroups + 1]sbList
+}
+
+// sbList is an intrusive doubly-linked list of superblocks.
+type sbList struct {
+	head *superblock.Superblock
+}
+
+func (l *sbList) pushFront(sb *superblock.Superblock) {
+	sb.Prev = nil
+	sb.Next = l.head
+	if l.head != nil {
+		l.head.Prev = sb
+	}
+	l.head = sb
+}
+
+func (l *sbList) remove(sb *superblock.Superblock) {
+	if sb.Prev != nil {
+		sb.Prev.Next = sb.Next
+	} else {
+		l.head = sb.Next
+	}
+	if sb.Next != nil {
+		sb.Next.Prev = sb.Prev
+	}
+	sb.Next, sb.Prev = nil, nil
+}
+
+// New creates an empty heap. sbSize is S; fEmpty and k parameterize the
+// emptiness invariant; numClasses is the size-class count; lock is the
+// heap's lock (created by the caller in the appropriate environment).
+func New(id, sbSize int, fEmpty float64, k, numClasses int, lock env.Lock) *Heap {
+	if fEmpty <= 0 || fEmpty >= 1 {
+		panic(fmt.Sprintf("heap: empty fraction %v out of (0,1)", fEmpty))
+	}
+	return &Heap{
+		ID:      id,
+		Lock:    lock,
+		sbSize:  sbSize,
+		fEmpty:  fEmpty,
+		k:       k,
+		classes: make([]classGroups, numClasses),
+	}
+}
+
+// groupOf computes the fullness group for a superblock.
+func groupOf(sb *superblock.Superblock) int {
+	if sb.Full() {
+		return fullGroup
+	}
+	g := sb.InUse() * NumGroups / sb.NBlocks()
+	if g >= NumGroups {
+		g = NumGroups - 1
+	}
+	return g
+}
+
+// U returns the bytes currently allocated from this heap's superblocks.
+func (h *Heap) U() int64 { return h.u }
+
+// A returns the bytes held by this heap in superblocks (S per superblock).
+func (h *Heap) A() int64 { return h.a }
+
+// Superblocks returns the number of superblocks the heap holds.
+func (h *Heap) Superblocks() int { return h.nSuper }
+
+// InvariantViolated reports whether the emptiness invariant fails, i.e.
+// u < a - K*S AND u < (1-f)*a. The Hoard free path must restore the
+// invariant when this returns true. The global heap never evicts, so core
+// only consults this on per-processor heaps.
+func (h *Heap) InvariantViolated() bool {
+	return h.u < h.a-int64(h.k*h.sbSize) && float64(h.u) < (1-h.fEmpty)*float64(h.a)
+}
+
+// Insert adds a superblock (and its current contents) to the heap, taking
+// ownership. The superblock must not be on any other heap.
+func (h *Heap) Insert(sb *superblock.Superblock) {
+	sb.SetOwnerID(h.ID)
+	sb.Group = groupOf(sb)
+	h.classes[sb.Class()].groups[sb.Group].pushFront(sb)
+	h.a += int64(h.sbSize)
+	h.u += int64(sb.BytesInUse())
+	h.nSuper++
+}
+
+// Remove detaches a superblock from the heap, releasing ownership of its
+// statistics. The caller becomes responsible for the superblock.
+func (h *Heap) Remove(sb *superblock.Superblock) {
+	h.classes[sb.Class()].groups[sb.Group].remove(sb)
+	h.a -= int64(h.sbSize)
+	h.u -= int64(sb.BytesInUse())
+	h.nSuper--
+}
+
+// regroup moves sb to its correct fullness group after an alloc or free.
+// Within a group, superblocks freed into the group go to the front so
+// recently-touched superblocks are reused first.
+func (h *Heap) regroup(sb *superblock.Superblock) {
+	g := groupOf(sb)
+	if g == sb.Group {
+		return
+	}
+	lists := &h.classes[sb.Class()].groups
+	lists[sb.Group].remove(sb)
+	sb.Group = g
+	lists[g].pushFront(sb)
+}
+
+// AllocBlock allocates one block of the given class from the heap's
+// superblocks, searching fullness groups from mostly-full down to
+// mostly-empty as the paper prescribes. ok is false if no owned superblock
+// of the class has a free block.
+func (h *Heap) AllocBlock(e env.Env, class int) (alloc.Ptr, bool) {
+	lists := &h.classes[class].groups
+	for g := NumGroups - 1; g >= 0; g-- {
+		e.Charge(env.OpListScan, 1)
+		sb := lists[g].head
+		if sb == nil {
+			continue
+		}
+		p, ok := sb.AllocBlock(e)
+		if !ok {
+			// A superblock in a non-full group always has a free
+			// block; reaching here means grouping is corrupt.
+			panic(fmt.Sprintf("heap %d: full superblock in group %d", h.ID, g))
+		}
+		h.u += int64(sb.BlockSize())
+		h.regroup(sb)
+		return p, true
+	}
+	return 0, false
+}
+
+// FreeBlock returns a block to its superblock, which must be owned by this
+// heap.
+func (h *Heap) FreeBlock(e env.Env, sb *superblock.Superblock, p alloc.Ptr) {
+	if sb.OwnerID() != h.ID {
+		panic(fmt.Sprintf("heap %d: FreeBlock on superblock owned by heap %d", h.ID, sb.OwnerID()))
+	}
+	sb.FreeBlock(e, p)
+	h.u -= int64(sb.BlockSize())
+	h.regroup(sb)
+}
+
+// FindEvictable returns a superblock that is at least f-empty, preferring
+// completely empty superblocks. It returns nil if none qualifies. After a
+// free that violates the emptiness invariant one qualifies in all but one
+// state (the invariant implies the average superblock is more than f empty
+// in byte terms): a heap of completely full superblocks of a class whose
+// block size does not divide S — see AllFull.
+//
+// The preference matters: regrouping pushes the currently-draining
+// superblock to the front of group 0, so taking the first qualifying
+// candidate would routinely evict a superblock still holding up to
+// (1-f) of its blocks — whose future frees then serialize on the global
+// heap. A fully drained superblock is the right victim whenever one
+// exists.
+func (h *Heap) FindEvictable(e env.Env) *superblock.Superblock {
+	for c := range h.classes {
+		e.Charge(env.OpListScan, 1)
+		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			if sb.Empty() {
+				return sb
+			}
+		}
+	}
+	for g := 0; g < NumGroups; g++ {
+		for c := range h.classes {
+			e.Charge(env.OpListScan, 1)
+			for sb := h.classes[c].groups[g].head; sb != nil; sb = sb.Next {
+				if sb.AtLeastEmpty(h.fEmpty) {
+					return sb
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TakeSuper removes and returns a superblock able to serve the given class:
+// first a superblock of that class with free space (emptiest first), then a
+// completely empty superblock of any class reinitialized to the class. It
+// returns nil if the heap has neither. This is the global heap's side of
+// Hoard's malloc slow path.
+//
+// Emptiest-first matters: superblocks evicted to the global heap may still
+// hold live blocks belonging to other threads; handing those out first
+// tangles heaps together (their eventual frees contend on whichever heap
+// received the superblock). Preferring the emptiest — usually completely
+// empty — superblock keeps heap ownership disjoint while still recycling
+// partial superblocks once demand exhausts the empties.
+func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock {
+	lists := &h.classes[class].groups
+	// Completely empty same-class superblocks first (group 0 mixes empty
+	// and lightly-used superblocks, so scan it for a true empty).
+	for sb := lists[0].head; sb != nil; sb = sb.Next {
+		e.Charge(env.OpListScan, 1)
+		if sb.Empty() {
+			h.Remove(sb)
+			return sb
+		}
+	}
+	for g := 0; g < NumGroups; g++ {
+		e.Charge(env.OpListScan, 1)
+		if sb := lists[g].head; sb != nil {
+			h.Remove(sb)
+			return sb
+		}
+	}
+	// Recycle a completely empty superblock from another class.
+	for c := range h.classes {
+		e.Charge(env.OpListScan, 1)
+		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			if sb.Empty() {
+				h.Remove(sb)
+				sb.Reinit(class, blockSize)
+				return sb
+			}
+		}
+	}
+	return nil
+}
+
+// AllFull reports whether every held superblock is completely full — the
+// one state where a violated emptiness invariant has no remedy: size
+// classes whose block size does not divide S waste the tail of each
+// superblock, so a heap of full superblocks can sit below (1-f)*a in byte
+// terms with nothing at all to evict (e.g. two 2960-byte blocks fill only
+// 72% of an 8 KiB superblock).
+func (h *Heap) AllFull() bool {
+	full := true
+	h.forEach(func(sb *superblock.Superblock) error {
+		if !sb.Full() {
+			full = false
+		}
+		return nil
+	})
+	return full
+}
+
+// forEach visits every superblock the heap holds, in class/group order.
+func (h *Heap) forEach(fn func(sb *superblock.Superblock) error) error {
+	for c := range h.classes {
+		for g := 0; g <= fullGroup; g++ {
+			for sb := h.classes[c].groups[g].head; sb != nil; sb = sb.Next {
+				if err := fn(sb); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity validates list structure, grouping, ownership, and the u/a
+// accounting against the superblocks' own counters. The heap must be
+// quiescent.
+func (h *Heap) CheckIntegrity() error {
+	var u, a int64
+	n := 0
+	err := h.forEach(func(sb *superblock.Superblock) error {
+		if sb.OwnerID() != h.ID {
+			return fmt.Errorf("heap %d: holds superblock owned by %d", h.ID, sb.OwnerID())
+		}
+		if want := groupOf(sb); sb.Group != want {
+			return fmt.Errorf("heap %d: superblock %#x in group %d, want %d (fullness %v)",
+				h.ID, sb.Base(), sb.Group, want, sb.Fullness())
+		}
+		if err := sb.CheckIntegrity(); err != nil {
+			return fmt.Errorf("heap %d: %w", h.ID, err)
+		}
+		u += int64(sb.BytesInUse())
+		a += int64(h.sbSize)
+		n++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if u != h.u || a != h.a || n != h.nSuper {
+		return fmt.Errorf("heap %d: accounting u=%d a=%d n=%d, superblocks say u=%d a=%d n=%d",
+			h.ID, h.u, h.a, h.nSuper, u, a, n)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package ownership
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/alloctest"
+	"hoardgo/internal/env"
+)
+
+var lf = env.RealLockFactory{}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(Config{Arenas: 4, Steal: true}, lf)
+	})
+}
+
+func TestConformanceNoSteal(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(Config{Arenas: 4}, lf)
+	})
+}
+
+// TestProducerConsumerBounded shows the improvement over pure private
+// heaps: ownership returns frees to the producer's arena, so
+// producer-consumer memory stays bounded.
+func TestProducerConsumerBounded(t *testing.T) {
+	a := New(Config{Arenas: 4}, lf)
+	producer := a.NewThread(&env.RealEnv{ID: 0})
+	consumer := a.NewThread(&env.RealEnv{ID: 1})
+	const batch = 200
+	var after10 int64
+	for r := 0; r < 100; r++ {
+		ps := make([]alloc.Ptr, batch)
+		for i := range ps {
+			ps[i] = a.Malloc(producer, 64)
+		}
+		for _, p := range ps {
+			a.Free(consumer, p)
+		}
+		if r == 9 {
+			after10 = a.Space().Committed()
+		}
+	}
+	if got := a.Space().Committed(); got > 2*after10 {
+		t.Fatalf("producer-consumer memory grew %d -> %d; ownership should bound it", after10, got)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPFoldBlowup demonstrates the O(P) blowup the paper ascribes to
+// private heaps with ownership: when an allocation phase shifts from thread
+// to thread, each thread's arena grows to the program's maximum live size,
+// so the allocator consumes ~P times the ideal.
+func TestPFoldBlowup(t *testing.T) {
+	const arenas = 8
+	a := New(Config{Arenas: arenas}, lf)
+	const liveBytes = 64 * 1024
+	const objSize = 64
+	const objs = liveBytes / objSize
+	for tid := 0; tid < arenas; tid++ {
+		th := a.NewThread(&env.RealEnv{ID: tid})
+		ps := make([]alloc.Ptr, objs)
+		for i := range ps {
+			ps[i] = a.Malloc(th, objSize)
+		}
+		for _, p := range ps {
+			a.Free(th, p) // returns to this thread's own arena
+		}
+	}
+	// Ideal allocator: ~liveBytes. Ownership: ~arenas * liveBytes.
+	committed := a.Space().Committed()
+	if committed < int64(arenas)*liveBytes/2 {
+		t.Fatalf("committed %d; expected ~%d (P-fold blowup)", committed, arenas*liveBytes)
+	}
+	if got := a.Stats().LiveBytes; got != 0 {
+		t.Fatalf("LiveBytes = %d", got)
+	}
+}
+
+// TestArenaStealing verifies that with Steal enabled a thread whose home
+// arena is locked allocates from another arena instead of blocking.
+func TestArenaStealing(t *testing.T) {
+	a := New(Config{Arenas: 2, Steal: true}, lf)
+	t0 := a.NewThread(&env.RealEnv{ID: 0})
+	// Hold arena 0's lock hostage.
+	a.arenas[0].lock.Lock(t0.Env)
+	done := make(chan alloc.Ptr)
+	go func() {
+		t0b := a.NewThread(&env.RealEnv{ID: 0}) // same home arena 0
+		done <- a.Malloc(t0b, 64)
+	}()
+	p := <-done // would deadlock without stealing
+	a.arenas[0].lock.Unlock(t0.Env)
+	sp := a.space.Lookup(uint64(p))
+	if sp == nil {
+		t.Fatal("no span")
+	}
+	th := a.NewThread(&env.RealEnv{ID: 5})
+	a.Free(th, p)
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeArenaAssignment(t *testing.T) {
+	a := New(Config{Arenas: 4}, lf)
+	for id := 0; id < 8; id++ {
+		th := a.NewThread(&env.RealEnv{ID: id})
+		if got, want := th.State.(*threadState).home, id%4; got != want {
+			t.Fatalf("thread %d home arena %d, want %d", id, got, want)
+		}
+	}
+	neg := a.NewThread(&env.RealEnv{ID: -3})
+	if h := neg.State.(*threadState).home; h < 0 || h >= 4 {
+		t.Fatalf("negative id mapped to arena %d", h)
+	}
+}

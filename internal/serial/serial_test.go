@@ -1,0 +1,65 @@
+package serial
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/alloctest"
+	"hoardgo/internal/env"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(0, env.RealLockFactory{})
+	})
+}
+
+func TestNeverReturnsSmallMemory(t *testing.T) {
+	// A serial malloc retains its heap: committed memory stays at the
+	// high-water mark after frees.
+	a := New(0, env.RealLockFactory{})
+	th := a.NewThread(&env.RealEnv{})
+	var ps []alloc.Ptr
+	for i := 0; i < 2000; i++ {
+		ps = append(ps, a.Malloc(th, 64))
+	}
+	committed := a.Space().Committed()
+	for _, p := range ps {
+		a.Free(th, p)
+	}
+	if got := a.Space().Committed(); got != committed {
+		t.Fatalf("committed changed %d -> %d; serial heap should retain memory", committed, got)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReusesFreedBlocks(t *testing.T) {
+	a := New(0, env.RealLockFactory{})
+	th := a.NewThread(&env.RealEnv{})
+	p := a.Malloc(th, 64)
+	a.Free(th, p)
+	q := a.Malloc(th, 64)
+	if q != p {
+		t.Fatalf("freed block not reused: %#x then %#x", uint64(p), uint64(q))
+	}
+}
+
+func TestAdjacentAllocationsShareSuperblock(t *testing.T) {
+	// The property that makes serial allocators actively induce false
+	// sharing: consecutive mallocs (possibly from different threads) get
+	// adjacent blocks in one superblock.
+	a := New(0, env.RealLockFactory{})
+	t0 := a.NewThread(&env.RealEnv{ID: 0})
+	t1 := a.NewThread(&env.RealEnv{ID: 1})
+	p0 := a.Malloc(t0, 8)
+	p1 := a.Malloc(t1, 8)
+	d := int64(p1) - int64(p0)
+	if d < 0 {
+		d = -d
+	}
+	if d >= 64 {
+		t.Fatalf("consecutive 8-byte allocations %d bytes apart; expected same cache line", d)
+	}
+}

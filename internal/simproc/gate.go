@@ -1,0 +1,51 @@
+package simproc
+
+import "hoardgo/internal/env"
+
+// Gate is a one-shot event: threads Wait until some thread Sets it. Waiters
+// resume at the later of their own time and the setter's (plus the barrier
+// handoff cost). Used for cross-thread happens-before edges, e.g. "object X
+// is now allocated" during parallel trace replay.
+type Gate struct {
+	w       *World
+	set     bool
+	setTime int64
+	waiters []*thread
+}
+
+// NewGate creates an unset gate.
+func (w *World) NewGate() *Gate { return &Gate{w: w} }
+
+// IsSet reports whether the gate has been set.
+func (g *Gate) IsSet() bool { return g.set }
+
+// Set opens the gate, waking all current waiters; later Waits return
+// immediately. Setting twice panics (one-shot).
+func (g *Gate) Set(e env.Env) {
+	t := e.(*Env).t
+	if g.set {
+		panic("simproc: Gate set twice")
+	}
+	g.set = true
+	g.setTime = t.time
+	for _, o := range g.waiters {
+		wake := g.setTime + g.w.cost.BarrierCost
+		if o.time < wake {
+			o.time = wake
+		}
+		o.state = stateReady
+		t.observe(o)
+	}
+	g.waiters = nil
+}
+
+// Wait blocks the calling simulated thread until the gate is set.
+func (g *Gate) Wait(e env.Env) {
+	t := e.(*Env).t
+	if g.set {
+		return
+	}
+	g.waiters = append(g.waiters, t)
+	t.state = stateBlockedBarrier
+	t.park()
+}

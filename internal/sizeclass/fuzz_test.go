@@ -1,0 +1,37 @@
+package sizeclass
+
+import "testing"
+
+// FuzzClassFor checks the table invariants hold for arbitrary sizes and
+// table parameters: the chosen class fits, is minimal, and Size/ClassFor
+// are mutually consistent.
+func FuzzClassFor(f *testing.F) {
+	f.Add(uint16(1), uint8(0))
+	f.Add(uint16(4096), uint8(3))
+	f.Add(uint16(777), uint8(1))
+	bases := []float64{1.05, 1.2, 1.5, 2.0}
+	f.Fuzz(func(t *testing.T, rawSize uint16, baseSel uint8) {
+		tab := New(bases[int(baseSel)%len(bases)], Quantum, 4096)
+		size := int(rawSize)
+		c, ok := tab.ClassFor(size)
+		if size > tab.MaxSize() {
+			if ok {
+				t.Fatalf("ClassFor(%d) ok beyond max %d", size, tab.MaxSize())
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("ClassFor(%d) not ok within max", size)
+		}
+		bs := tab.Size(c)
+		if bs < size && size > 0 {
+			t.Fatalf("class %d size %d < request %d", c, bs, size)
+		}
+		if c > 0 && size > 0 && tab.Size(c-1) >= size {
+			t.Fatalf("class %d not minimal for %d", c, size)
+		}
+		if c2, ok2 := tab.ClassFor(bs); !ok2 || c2 != c {
+			t.Fatalf("ClassFor(Size(%d)) = %d,%v", c, c2, ok2)
+		}
+	})
+}

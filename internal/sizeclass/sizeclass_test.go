@@ -1,0 +1,151 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func defaultTable() *Table { return New(DefaultBase, Quantum, 4096) }
+
+func TestClassSizesAscendAndAligned(t *testing.T) {
+	tab := defaultTable()
+	prev := 0
+	for i := 0; i < tab.NumClasses(); i++ {
+		s := tab.Size(i)
+		if s <= prev {
+			t.Fatalf("class %d size %d not ascending (prev %d)", i, s, prev)
+		}
+		if s%Quantum != 0 {
+			t.Fatalf("class %d size %d not %d-aligned", i, s, Quantum)
+		}
+		prev = s
+	}
+	if got := tab.Size(tab.NumClasses() - 1); got != tab.MaxSize() {
+		t.Fatalf("last class size %d, want max %d", got, tab.MaxSize())
+	}
+}
+
+func TestGrowthFactorBound(t *testing.T) {
+	tab := defaultTable()
+	for i := 1; i < tab.NumClasses(); i++ {
+		a, b := tab.Size(i-1), tab.Size(i)
+		// Each class is at most a factor base larger than the previous
+		// (after Quantum rounding), bounding internal fragmentation.
+		if float64(b) > float64(a)*tab.Base()+Quantum {
+			t.Fatalf("class %d..%d ratio %v exceeds base %v", i-1, i, float64(b)/float64(a), tab.Base())
+		}
+	}
+}
+
+func TestClassForExactAndBoundary(t *testing.T) {
+	tab := defaultTable()
+	for i := 0; i < tab.NumClasses(); i++ {
+		s := tab.Size(i)
+		c, ok := tab.ClassFor(s)
+		if !ok || c != i {
+			t.Fatalf("ClassFor(%d) = %d,%v, want %d", s, c, ok, i)
+		}
+		if i > 0 {
+			c, ok = tab.ClassFor(tab.Size(i-1) + 1)
+			if !ok || c != i {
+				t.Fatalf("ClassFor(%d) = %d,%v, want %d", tab.Size(i-1)+1, c, ok, i)
+			}
+		}
+	}
+}
+
+func TestClassForEdges(t *testing.T) {
+	tab := defaultTable()
+	if c, ok := tab.ClassFor(0); !ok || c != 0 {
+		t.Fatalf("ClassFor(0) = %d,%v", c, ok)
+	}
+	if c, ok := tab.ClassFor(-5); !ok || c != 0 {
+		t.Fatalf("ClassFor(-5) = %d,%v", c, ok)
+	}
+	if c, ok := tab.ClassFor(1); !ok || c != 0 {
+		t.Fatalf("ClassFor(1) = %d,%v", c, ok)
+	}
+	if _, ok := tab.ClassFor(tab.MaxSize()); !ok {
+		t.Fatal("ClassFor(max) not ok")
+	}
+	if _, ok := tab.ClassFor(tab.MaxSize() + 1); ok {
+		t.Fatal("ClassFor(max+1) ok, want overflow")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	cases := []struct {
+		base     float64
+		min, max int
+	}{
+		{1.0, 8, 4096},
+		{0.5, 8, 4096},
+		{1.2, 0, 4096},
+		{1.2, 12, 4096},
+		{1.2, 8, 4},
+		{1.0001, 8, 1 << 20}, // would need >255 classes
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v,%d,%d) did not panic", tc.base, tc.min, tc.max)
+				}
+			}()
+			New(tc.base, tc.min, tc.max)
+		}()
+	}
+}
+
+// TestPropertyClassFitsAndTight checks, for random sizes and bases, that the
+// chosen class holds the request and wastes at most a factor base (+rounding).
+func TestPropertyClassFitsAndTight(t *testing.T) {
+	bases := []float64{1.1, 1.2, 1.5, 2.0}
+	for _, b := range bases {
+		tab := New(b, Quantum, 4096)
+		f := func(raw uint16) bool {
+			size := int(raw)%tab.MaxSize() + 1
+			c, ok := tab.ClassFor(size)
+			if !ok {
+				return false
+			}
+			bs := tab.Size(c)
+			if bs < size {
+				return false // class must hold the request
+			}
+			if c > 0 && tab.Size(c-1) >= size {
+				return false // must be the smallest adequate class
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("base %v: %v", b, err)
+		}
+	}
+}
+
+func TestSizesCopyIsDetached(t *testing.T) {
+	tab := defaultTable()
+	s := tab.Sizes()
+	s[0] = 999999
+	if tab.Size(0) == 999999 {
+		t.Fatal("Sizes() exposed internal slice")
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	// S = 8192 => max class size S/2 = 4096, b = 1.2, min 8.
+	tab := New(1.2, 8, 4096)
+	if n := tab.NumClasses(); n < 20 || n > 60 {
+		t.Fatalf("unexpected class count %d for paper parameters", n)
+	}
+}
+
+func BenchmarkClassFor(b *testing.B) {
+	tab := defaultTable()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tab.ClassFor(i&4095 + 1); !ok {
+			b.Fatal("overflow")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package superblock implements Hoard's unit of memory management.
+//
+// A superblock is an S-byte, S-aligned span carved into blocks of exactly
+// one size class. Each superblock is owned by exactly one heap at a time
+// (a per-processor heap or the global heap); ownership is what lets Hoard
+// avoid allocator-induced false sharing — blocks of a superblock are handed
+// out by a single heap, and frees return blocks to the superblock (and thus
+// to its owning heap) rather than to the freeing thread.
+//
+// Free blocks form a LIFO intrusive list threaded through the blocks' own
+// memory (the first four bytes of a free block hold the next free block's
+// index), plus a lazy "carve frontier": blocks past the frontier have never
+// been allocated and need no list linkage. A per-superblock free bitmap
+// detects double frees and supports integrity checking.
+package superblock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/vm"
+)
+
+// DefaultSize is the paper implementation's superblock size S (8 KiB).
+const DefaultSize = 8192
+
+// Superblock manages one S-byte span of blocks of a single size class.
+//
+// Locking: all fields except ownerID are protected by the lock of the heap
+// that currently owns the superblock. ownerID is atomic because the free
+// path must read it before taking that lock (and re-check it after, since
+// ownership can change while waiting).
+type Superblock struct {
+	span      *vm.Span
+	size      int // S
+	class     int
+	blockSize int
+	nBlocks   int
+
+	inUse    int
+	freeHead int // 1-based index of first listed free block; 0 = empty list
+	carved   int // blocks at index >= carved have never been allocated
+
+	freeBits []uint64 // bit i set = block i is free (listed or uncarved)
+
+	ownerID atomic.Int32
+
+	// Next and Prev link the superblock into its heap's fullness-group
+	// list for its size class. Group is the list it is currently on.
+	// All three are managed exclusively by the owning heap.
+	Next, Prev *Superblock
+	Group      int
+}
+
+// New reserves a fresh size-byte, size-aligned span from space and formats
+// it as a superblock of the given class and block size. blockSize must be a
+// positive multiple of 8 no larger than size.
+func New(space *vm.Space, size, class, blockSize int) *Superblock {
+	if blockSize <= 0 || blockSize%8 != 0 || blockSize > size {
+		panic(fmt.Sprintf("superblock: bad block size %d for S=%d", blockSize, size))
+	}
+	sb := &Superblock{size: size}
+	sb.span = space.Reserve(size, size, sb)
+	sb.format(class, blockSize)
+	return sb
+}
+
+// format initializes block bookkeeping for a (possibly recycled) superblock.
+func (sb *Superblock) format(class, blockSize int) {
+	sb.class = class
+	sb.blockSize = blockSize
+	sb.nBlocks = sb.size / blockSize
+	sb.inUse = 0
+	sb.freeHead = 0
+	sb.carved = 0
+	words := (sb.nBlocks + 63) / 64
+	if cap(sb.freeBits) >= words {
+		sb.freeBits = sb.freeBits[:words]
+	} else {
+		sb.freeBits = make([]uint64, words)
+	}
+	for i := range sb.freeBits {
+		sb.freeBits[i] = ^uint64(0)
+	}
+}
+
+// Reinit reformats an empty superblock for a new size class. Hoard's global
+// heap recycles completely empty superblocks across classes; reinitializing
+// a non-empty superblock panics.
+func (sb *Superblock) Reinit(class, blockSize int) {
+	if sb.inUse != 0 {
+		panic(fmt.Sprintf("superblock: Reinit with %d blocks in use", sb.inUse))
+	}
+	if blockSize <= 0 || blockSize%8 != 0 || blockSize > sb.size {
+		panic(fmt.Sprintf("superblock: bad block size %d for S=%d", blockSize, sb.size))
+	}
+	sb.format(class, blockSize)
+}
+
+// Release returns the superblock's span to the simulated OS. The superblock
+// must be empty and must no longer be reachable from any heap.
+func (sb *Superblock) Release(space *vm.Space) {
+	if sb.inUse != 0 {
+		panic("superblock: Release with blocks in use")
+	}
+	space.Release(sb.span)
+	sb.span = nil
+}
+
+// FromPtr resolves a block pointer to its superblock via the address space's
+// page map, the moral equivalent of the paper's per-block header. ok is
+// false if p does not belong to any live superblock (e.g. it is a large
+// object or garbage).
+func FromPtr(space *vm.Space, p alloc.Ptr) (*Superblock, bool) {
+	sp := space.Lookup(uint64(p))
+	if sp == nil {
+		return nil, false
+	}
+	sb, ok := sp.Owner.(*Superblock)
+	return sb, ok
+}
+
+// Size returns S, the superblock's total byte size.
+func (sb *Superblock) Size() int { return sb.size }
+
+// Class returns the size class this superblock currently serves.
+func (sb *Superblock) Class() int { return sb.class }
+
+// BlockSize returns the byte size of each block.
+func (sb *Superblock) BlockSize() int { return sb.blockSize }
+
+// NBlocks returns the number of blocks the superblock holds.
+func (sb *Superblock) NBlocks() int { return sb.nBlocks }
+
+// InUse returns the number of allocated blocks.
+func (sb *Superblock) InUse() int { return sb.inUse }
+
+// BytesInUse returns the allocated bytes (blocks in use times block size).
+func (sb *Superblock) BytesInUse() int { return sb.inUse * sb.blockSize }
+
+// Capacity returns the total usable bytes (nBlocks times block size).
+func (sb *Superblock) Capacity() int { return sb.nBlocks * sb.blockSize }
+
+// Full reports whether every block is allocated.
+func (sb *Superblock) Full() bool { return sb.inUse == sb.nBlocks }
+
+// Empty reports whether no block is allocated.
+func (sb *Superblock) Empty() bool { return sb.inUse == 0 }
+
+// Fullness returns the allocated fraction in [0,1].
+func (sb *Superblock) Fullness() float64 {
+	return float64(sb.inUse) / float64(sb.nBlocks)
+}
+
+// AtLeastEmpty reports whether the superblock is at least fraction f empty,
+// the condition a superblock must meet to move to the global heap.
+func (sb *Superblock) AtLeastEmpty(f float64) bool {
+	return float64(sb.nBlocks-sb.inUse) >= f*float64(sb.nBlocks)
+}
+
+// OwnerID returns the id of the heap that currently owns this superblock.
+func (sb *Superblock) OwnerID() int { return int(sb.ownerID.Load()) }
+
+// SetOwnerID records a change of owning heap. Callers must hold the
+// previous owner's lock (and, for heap-to-heap moves, the new owner's).
+func (sb *Superblock) SetOwnerID(id int) { sb.ownerID.Store(int32(id)) }
+
+// Base returns the simulated address of the superblock's first byte.
+func (sb *Superblock) Base() uint64 { return sb.span.Base }
+
+// AllocBlock pops a free block, preferring recently freed blocks (LIFO) for
+// locality, then carving never-used blocks. ok is false when the superblock
+// is full.
+func (sb *Superblock) AllocBlock(e env.Env) (p alloc.Ptr, ok bool) {
+	var idx int
+	switch {
+	case sb.freeHead != 0:
+		idx = sb.freeHead - 1
+		// Reading the link is a real access to the block's memory —
+		// this is where an allocator picks up a cache line that the
+		// freeing thread wrote (passive false sharing's mechanism).
+		link := sb.span.Bytes(idx*sb.blockSize, 4)
+		e.Touch(sb.addrOf(idx), 4, false)
+		sb.freeHead = int(binary.LittleEndian.Uint32(link))
+	case sb.carved < sb.nBlocks:
+		idx = sb.carved
+		sb.carved++
+	default:
+		return 0, false
+	}
+	if !sb.testAndClearFree(idx) {
+		panic(fmt.Sprintf("superblock %#x: free-list/bitmap mismatch at block %d", sb.Base(), idx))
+	}
+	sb.inUse++
+	return alloc.Ptr(sb.addrOf(idx)), true
+}
+
+// FreeBlock returns a block to the superblock's LIFO free list. It panics
+// on misaligned pointers, pointers outside the superblock, and double
+// frees.
+func (sb *Superblock) FreeBlock(e env.Env, p alloc.Ptr) {
+	idx := sb.indexOf(p)
+	if sb.isFree(idx) {
+		panic(fmt.Sprintf("superblock %#x: double free of block %d (%#x)", sb.Base(), idx, uint64(p)))
+	}
+	// Writing the link dirties the block's cache line in the freeing
+	// thread's cache — the other half of the false-sharing mechanism.
+	binary.LittleEndian.PutUint32(sb.span.Bytes(idx*sb.blockSize, 4), uint32(sb.freeHead))
+	e.Touch(uint64(p), 4, true)
+	sb.freeHead = idx + 1
+	sb.setFree(idx)
+	sb.inUse--
+}
+
+// Contains reports whether p points at a block boundary inside sb.
+func (sb *Superblock) Contains(p alloc.Ptr) bool {
+	a := uint64(p)
+	if a < sb.span.Base || a >= sb.span.End() {
+		return false
+	}
+	return (a-sb.span.Base)%uint64(sb.blockSize) == 0 &&
+		int(a-sb.span.Base)/sb.blockSize < sb.nBlocks
+}
+
+func (sb *Superblock) addrOf(idx int) uint64 {
+	return sb.span.Base + uint64(idx*sb.blockSize)
+}
+
+func (sb *Superblock) indexOf(p alloc.Ptr) int {
+	off := uint64(p) - sb.span.Base
+	if uint64(p) < sb.span.Base || off%uint64(sb.blockSize) != 0 || int(off)/sb.blockSize >= sb.nBlocks {
+		panic(fmt.Sprintf("superblock %#x: bad block pointer %#x", sb.Base(), uint64(p)))
+	}
+	return int(off) / sb.blockSize
+}
+
+func (sb *Superblock) isFree(idx int) bool {
+	return sb.freeBits[idx/64]&(1<<(idx%64)) != 0
+}
+
+func (sb *Superblock) setFree(idx int) {
+	sb.freeBits[idx/64] |= 1 << (idx % 64)
+}
+
+func (sb *Superblock) testAndClearFree(idx int) bool {
+	w, b := idx/64, uint64(1)<<(idx%64)
+	if sb.freeBits[w]&b == 0 {
+		return false
+	}
+	sb.freeBits[w] &^= b
+	return true
+}
+
+// CheckIntegrity validates the free list, bitmap, and counters. The
+// superblock must be quiescent.
+func (sb *Superblock) CheckIntegrity() error {
+	if sb.span == nil {
+		return fmt.Errorf("superblock: released but still reachable")
+	}
+	listed := 0
+	seen := make(map[int]bool)
+	for cur := sb.freeHead; cur != 0; {
+		idx := cur - 1
+		if idx < 0 || idx >= sb.carved {
+			return fmt.Errorf("superblock %#x: free list index %d outside carved range [0,%d)", sb.Base(), idx, sb.carved)
+		}
+		if seen[idx] {
+			return fmt.Errorf("superblock %#x: free list cycle at block %d", sb.Base(), idx)
+		}
+		if !sb.isFree(idx) {
+			return fmt.Errorf("superblock %#x: listed block %d not marked free", sb.Base(), idx)
+		}
+		seen[idx] = true
+		listed++
+		cur = int(binary.LittleEndian.Uint32(sb.span.Bytes(idx*sb.blockSize, 4)))
+	}
+	wantListed := sb.carved - sb.inUse
+	if listed != wantListed {
+		return fmt.Errorf("superblock %#x: %d blocks on free list, want %d (carved %d, inUse %d)",
+			sb.Base(), listed, wantListed, sb.carved, sb.inUse)
+	}
+	freeBits := 0
+	for i := 0; i < sb.nBlocks; i++ {
+		if sb.isFree(i) {
+			freeBits++
+		}
+	}
+	if freeBits != sb.nBlocks-sb.inUse {
+		return fmt.Errorf("superblock %#x: bitmap says %d free, counters say %d",
+			sb.Base(), freeBits, sb.nBlocks-sb.inUse)
+	}
+	if sb.inUse < 0 || sb.inUse > sb.nBlocks {
+		return fmt.Errorf("superblock %#x: inUse %d out of range", sb.Base(), sb.inUse)
+	}
+	return nil
+}

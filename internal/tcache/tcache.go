@@ -1,0 +1,265 @@
+// Package tcache layers bounded per-thread block caches ("magazines") on
+// top of any allocator — the design direction Hoard's successors took
+// (Hoard 3.x's thread caches, tcmalloc's thread caches, jemalloc's tcache).
+//
+// Malloc first pops the calling thread's magazine for the size class, with
+// no lock at all; free pushes onto it. Overflow flushes half the magazine
+// to the inner allocator (real frees, respecting its ownership discipline);
+// underflow refills a batch (real mallocs). The cache trades three things
+// against lock-free fast paths, all measurable with this package:
+//
+//   - bounded extra memory: at most Capacity blocks per class per thread
+//     are stranded in magazines (reported as CachedBytes);
+//   - passive false sharing returns: a block freed into thread A's
+//     magazine is re-issued to thread A even if thread B's heap owns it,
+//     so line-mates can split across threads again — exactly the effect
+//     Hoard's free-to-owner rule eliminates (the paper's §2 tradeoff,
+//     which is why Hoard 1.0 did not have thread caches);
+//   - staleness: cached blocks are invisible to the inner allocator's
+//     emptiness invariant, delaying superblock recycling.
+package tcache
+
+import (
+	"fmt"
+	"sync"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/sizeclass"
+	"hoardgo/internal/vm"
+)
+
+// Config parameterizes the cache.
+type Config struct {
+	// Capacity is the maximum blocks cached per size class per thread
+	// (0 selects 32). A flush returns half the magazine.
+	Capacity int
+	// MaxCachedSize is the largest block size worth caching (0 selects
+	// 4096, the default allocators' largest class). Larger blocks bypass
+	// the cache entirely.
+	MaxCachedSize int
+}
+
+// Allocator wraps an inner allocator with per-thread magazines.
+type Allocator struct {
+	inner   alloc.Allocator
+	cfg     Config
+	classes *sizeclass.Table
+	acct    alloc.Accounting
+
+	mu      sync.Mutex
+	threads []*threadState
+}
+
+// threadState holds one thread's magazines and its inner-allocator handle.
+type threadState struct {
+	inner *alloc.Thread
+	mags  [][]alloc.Ptr // per class
+}
+
+// New wraps inner with thread caches.
+func New(inner alloc.Allocator, cfg Config) *Allocator {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 32
+	}
+	if cfg.Capacity < 2 {
+		panic(fmt.Sprintf("tcache: capacity %d too small", cfg.Capacity))
+	}
+	if cfg.MaxCachedSize == 0 {
+		cfg.MaxCachedSize = 4096
+	}
+	return &Allocator{
+		inner:   inner,
+		cfg:     cfg,
+		classes: sizeclass.New(sizeclass.DefaultBase, sizeclass.Quantum, cfg.MaxCachedSize),
+	}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return a.inner.Name() + "+tcache" }
+
+// Space implements alloc.Allocator.
+func (a *Allocator) Space() *vm.Space { return a.inner.Space() }
+
+// Inner returns the wrapped allocator.
+func (a *Allocator) Inner() alloc.Allocator { return a.inner }
+
+// NewThread implements alloc.Allocator.
+func (a *Allocator) NewThread(e env.Env) *alloc.Thread {
+	ts := &threadState{
+		inner: a.inner.NewThread(e),
+		mags:  make([][]alloc.Ptr, a.classes.NumClasses()),
+	}
+	a.mu.Lock()
+	a.threads = append(a.threads, ts)
+	a.mu.Unlock()
+	return &alloc.Thread{ID: ts.inner.ID, Env: e, State: ts}
+}
+
+// classFor returns the magazine slot for a request size, or ok=false if the
+// size bypasses the cache.
+func (a *Allocator) classFor(size int) (int, bool) {
+	return a.classes.ClassFor(size)
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
+	ts := t.State.(*threadState)
+	class, ok := a.classFor(size)
+	if !ok {
+		p := a.inner.Malloc(ts.inner, size)
+		a.acct.OnMalloc(a.inner.UsableSize(p))
+		return p
+	}
+	mag := ts.mags[class]
+	if len(mag) == 0 {
+		a.refill(ts, class)
+		mag = ts.mags[class]
+		if len(mag) == 0 {
+			// The inner allocator's size classes don't round-trip
+			// through ours (non-default parameters): bypass.
+			p := a.inner.Malloc(ts.inner, size)
+			a.acct.OnMalloc(a.inner.UsableSize(p))
+			return p
+		}
+	}
+	p := mag[len(mag)-1]
+	ts.mags[class] = mag[:len(mag)-1]
+	t.Env.Charge(env.OpMallocFast, 1)
+	a.acct.OnMalloc(a.classes.Size(class))
+	return p
+}
+
+// refill fills half a magazine from the inner allocator. Only blocks whose
+// inner usable size exactly matches our class size are cacheable —
+// otherwise the magazine's byte accounting (and Free's round-trip check)
+// would drift; mismatches leave the magazine empty and Malloc bypasses.
+func (a *Allocator) refill(ts *threadState, class int) {
+	blockSize := a.classes.Size(class)
+	n := a.cfg.Capacity / 2
+	for i := 0; i < n; i++ {
+		p := a.inner.Malloc(ts.inner, blockSize)
+		if a.inner.UsableSize(p) != blockSize {
+			a.inner.Free(ts.inner, p)
+			return
+		}
+		ts.mags[class] = append(ts.mags[class], p)
+	}
+}
+
+// Free implements alloc.Allocator. The block lands in the *freeing*
+// thread's magazine (the tcmalloc behavior, and the passive-false-sharing
+// tradeoff documented above).
+func (a *Allocator) Free(t *alloc.Thread, p alloc.Ptr) {
+	if p.IsNil() {
+		return
+	}
+	ts := t.State.(*threadState)
+	usable := a.inner.UsableSize(p)
+	class, ok := a.classFor(usable)
+	if !ok || a.classes.Size(class) != usable {
+		// Bypass sizes, and blocks whose inner class doesn't round-trip
+		// through our table, go straight down.
+		a.acct.OnFree(usable)
+		a.inner.Free(ts.inner, p)
+		return
+	}
+	ts.mags[class] = append(ts.mags[class], p)
+	t.Env.Charge(env.OpFree, 1)
+	a.acct.OnFree(usable)
+	if len(ts.mags[class]) > a.cfg.Capacity {
+		a.flush(ts, class)
+	}
+}
+
+// flush returns half the magazine to the inner allocator.
+func (a *Allocator) flush(ts *threadState, class int) {
+	mag := ts.mags[class]
+	keep := a.cfg.Capacity / 2
+	for _, p := range mag[keep:] {
+		a.inner.Free(ts.inner, p)
+	}
+	ts.mags[class] = mag[:keep]
+}
+
+// FlushThread empties every magazine of t back to the inner allocator —
+// what a thread-exit hook does in tcmalloc.
+func (a *Allocator) FlushThread(t *alloc.Thread) {
+	ts := t.State.(*threadState)
+	for class, mag := range ts.mags {
+		for _, p := range mag {
+			a.inner.Free(ts.inner, p)
+		}
+		ts.mags[class] = nil
+	}
+}
+
+// UsableSize implements alloc.Allocator.
+func (a *Allocator) UsableSize(p alloc.Ptr) int { return a.inner.UsableSize(p) }
+
+// Bytes implements alloc.Allocator.
+func (a *Allocator) Bytes(p alloc.Ptr, n int) []byte { return a.inner.Bytes(p, n) }
+
+// CachedBytes reports the bytes currently sitting in magazines (requires
+// quiescence).
+func (a *Allocator) CachedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total int64
+	for _, ts := range a.threads {
+		for class, mag := range ts.mags {
+			total += int64(len(mag)) * int64(a.classes.Size(class))
+		}
+	}
+	return total
+}
+
+// Stats implements alloc.Allocator, reporting application-level counters
+// (cached blocks count as free).
+func (a *Allocator) Stats() alloc.Stats {
+	var st alloc.Stats
+	a.acct.Fill(&st)
+	inner := a.inner.Stats()
+	st.SuperblockMoves = inner.SuperblockMoves
+	st.GlobalHeapHits = inner.GlobalHeapHits
+	st.OSReserves = inner.OSReserves
+	st.RemoteFrees = inner.RemoteFrees
+	st.LargeMallocs = inner.LargeMallocs
+	return st
+}
+
+// CheckIntegrity implements alloc.Allocator: magazines must hold distinct,
+// live, correctly-sized blocks; the inner allocator's live bytes must equal
+// application live bytes plus cached bytes; and the inner allocator must
+// itself be intact. Requires quiescence.
+func (a *Allocator) CheckIntegrity() error {
+	a.mu.Lock()
+	seen := make(map[alloc.Ptr]bool)
+	var cached int64
+	for ti, ts := range a.threads {
+		for class, mag := range ts.mags {
+			want := a.classes.Size(class)
+			if len(mag) > a.cfg.Capacity {
+				a.mu.Unlock()
+				return fmt.Errorf("tcache: thread %d class %d magazine over capacity: %d", ti, class, len(mag))
+			}
+			for _, p := range mag {
+				if seen[p] {
+					a.mu.Unlock()
+					return fmt.Errorf("tcache: block %#x cached twice", uint64(p))
+				}
+				seen[p] = true
+				if got := a.inner.UsableSize(p); got != want {
+					a.mu.Unlock()
+					return fmt.Errorf("tcache: cached block %#x usable %d on class-%d magazine (%d)", uint64(p), got, class, want)
+				}
+				cached += int64(want)
+			}
+		}
+	}
+	a.mu.Unlock()
+	if innerLive := a.inner.Stats().LiveBytes; innerLive != a.acct.Live()+cached {
+		return fmt.Errorf("tcache: inner live %d != app live %d + cached %d", innerLive, a.acct.Live(), cached)
+	}
+	return a.inner.CheckIntegrity()
+}

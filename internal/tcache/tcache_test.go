@@ -1,0 +1,175 @@
+package tcache
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/alloctest"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
+	"hoardgo/internal/serial"
+)
+
+var lf = env.RealLockFactory{}
+
+func newOverHoard(capacity int) *Allocator {
+	return New(core.New(core.Config{Heaps: 4}, lf), Config{Capacity: capacity})
+}
+
+// Conformance note: the suite's "LiveBytes == 0 after frees" checks observe
+// the tcache-level stats, which treat cached blocks as free — exactly the
+// application's view.
+func TestConformanceOverHoard(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator { return newOverHoard(16) })
+}
+
+func TestConformanceOverSerial(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(serial.New(0, lf), Config{Capacity: 16})
+	})
+}
+
+func TestCacheHitAvoidsInner(t *testing.T) {
+	a := newOverHoard(32)
+	th := a.NewThread(&env.RealEnv{})
+	p := a.Malloc(th, 64)
+	innerMallocs := a.Inner().Stats().Mallocs
+	a.Free(th, p) // into magazine
+	q := a.Malloc(th, 64)
+	if q != p {
+		t.Fatalf("cache did not return the freed block: %#x vs %#x", uint64(q), uint64(p))
+	}
+	if got := a.Inner().Stats().Mallocs; got != innerMallocs {
+		t.Fatalf("cache hit reached the inner allocator (%d -> %d mallocs)", innerMallocs, got)
+	}
+	a.Free(th, q)
+}
+
+func TestRefillBatches(t *testing.T) {
+	const capacity = 16
+	a := newOverHoard(capacity)
+	th := a.NewThread(&env.RealEnv{})
+	a.Malloc(th, 64)
+	// One refill fetched Capacity/2 blocks from the inner allocator.
+	if got := a.Inner().Stats().Mallocs; got != capacity/2 {
+		t.Fatalf("inner mallocs = %d, want one batch of %d", got, capacity/2)
+	}
+	// The next Capacity/2-1 mallocs are free hits.
+	for i := 0; i < capacity/2-1; i++ {
+		a.Malloc(th, 64)
+	}
+	if got := a.Inner().Stats().Mallocs; got != capacity/2 {
+		t.Fatalf("inner mallocs grew to %d during cached phase", got)
+	}
+}
+
+func TestFlushAtCapacity(t *testing.T) {
+	const capacity = 8
+	a := newOverHoard(capacity)
+	th := a.NewThread(&env.RealEnv{})
+	var ps []alloc.Ptr
+	for i := 0; i < 3*capacity; i++ {
+		ps = append(ps, a.Malloc(th, 64))
+	}
+	for _, p := range ps {
+		a.Free(th, p)
+	}
+	ts := th.State.(*threadState)
+	class, _ := a.classFor(64)
+	if got := len(ts.mags[class]); got > capacity {
+		t.Fatalf("magazine holds %d > capacity %d", got, capacity)
+	}
+	if innerFrees := a.Inner().Stats().Frees; innerFrees == 0 {
+		t.Fatal("no flush reached the inner allocator")
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedBytesAndFlushThread(t *testing.T) {
+	a := newOverHoard(16)
+	th := a.NewThread(&env.RealEnv{})
+	for i := 0; i < 8; i++ {
+		a.Free(th, a.Malloc(th, 64))
+	}
+	if got := a.CachedBytes(); got == 0 {
+		t.Fatal("nothing cached after frees")
+	}
+	a.FlushThread(th)
+	if got := a.CachedBytes(); got != 0 {
+		t.Fatalf("CachedBytes = %d after FlushThread", got)
+	}
+	if got := a.Inner().Stats().LiveBytes; got != 0 {
+		t.Fatalf("inner LiveBytes = %d after full flush", got)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBypassesCache(t *testing.T) {
+	a := newOverHoard(16)
+	th := a.NewThread(&env.RealEnv{})
+	p := a.Malloc(th, 100000)
+	a.Free(th, p)
+	if got := a.CachedBytes(); got != 0 {
+		t.Fatalf("large block cached: %d bytes", got)
+	}
+}
+
+// TestPassiveFalseSharingReturns documents the tradeoff: with a thread
+// cache, a block freed by thread B is re-issued to thread B even though
+// thread A's heap owns it — the migration Hoard's free-to-owner rule
+// prevents.
+func TestPassiveFalseSharingReturns(t *testing.T) {
+	a := newOverHoard(16)
+	ta := a.NewThread(&env.RealEnv{ID: 0})
+	tb := a.NewThread(&env.RealEnv{ID: 1})
+	p := a.Malloc(ta, 64)
+	a.Free(tb, p) // lands in B's magazine, not A's heap
+	q := a.Malloc(tb, 64)
+	if q != p {
+		t.Fatalf("expected B to receive A's block from its magazine")
+	}
+	a.Free(tb, q)
+	// Without the cache, Hoard would have returned p to A's superblock:
+	bare := core.New(core.Config{Heaps: 4}, lf)
+	ba := bare.NewThread(&env.RealEnv{ID: 0})
+	bb := bare.NewThread(&env.RealEnv{ID: 1})
+	p2 := bare.Malloc(ba, 64)
+	bare.Free(bb, p2)
+	if q2 := bare.Malloc(bb, 64); q2 == p2 {
+		t.Fatal("bare Hoard unexpectedly re-issued a remotely-freed block to the freeing thread")
+	}
+}
+
+func TestIntegrityCatchesDoubleCache(t *testing.T) {
+	a := newOverHoard(16)
+	th := a.NewThread(&env.RealEnv{})
+	p := a.Malloc(th, 64)
+	ts := th.State.(*threadState)
+	class, _ := a.classFor(64)
+	ts.mags[class] = append(ts.mags[class], p, p) // corrupt deliberately
+	if err := a.CheckIntegrity(); err == nil {
+		t.Fatal("integrity missed a double-cached block")
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 1 accepted")
+		}
+	}()
+	New(serial.New(0, lf), Config{Capacity: 1})
+}
+
+func BenchmarkCachedMallocFree(b *testing.B) {
+	a := newOverHoard(64)
+	th := a.NewThread(&env.RealEnv{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Free(th, a.Malloc(th, 64))
+	}
+}

@@ -1,0 +1,128 @@
+package threshold
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/alloctest"
+	"hoardgo/internal/env"
+)
+
+var lf = env.RealLockFactory{}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(Config{Watermark: 8}, lf)
+	})
+}
+
+func TestConformanceDefaultWatermark(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(Config{}, lf)
+	})
+}
+
+// TestBoundedBlowup checks the design's claim: producer-consumer stranding
+// is capped by the watermark, so memory stays bounded (unlike pure private
+// heaps).
+func TestBoundedBlowup(t *testing.T) {
+	a := New(Config{Watermark: 16}, lf)
+	producer := a.NewThread(&env.RealEnv{ID: 0})
+	consumer := a.NewThread(&env.RealEnv{ID: 1})
+	const batch = 200
+	var after10 int64
+	for r := 0; r < 100; r++ {
+		ps := make([]alloc.Ptr, batch)
+		for i := range ps {
+			ps[i] = a.Malloc(producer, 64)
+		}
+		for _, p := range ps {
+			a.Free(consumer, p)
+		}
+		if r == 9 {
+			after10 = a.Space().Committed()
+		}
+	}
+	if got := a.Space().Committed(); got > 2*after10 {
+		t.Fatalf("memory grew %d -> %d across rounds; thresholds should bound it", after10, got)
+	}
+	spills, refills := a.SpillsRefills()
+	if spills == 0 || refills == 0 {
+		t.Fatalf("spills=%d refills=%d; watermark machinery never engaged", spills, refills)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillTriggersAtHighWatermark pins the watermark mechanics.
+func TestSpillTriggersAtHighWatermark(t *testing.T) {
+	const lo = 4
+	a := New(Config{Watermark: lo}, lf)
+	th := a.NewThread(&env.RealEnv{})
+	// Allocate and free enough blocks of one class to cross 2*lo.
+	var ps []alloc.Ptr
+	for i := 0; i < 3*lo; i++ {
+		ps = append(ps, a.Malloc(th, 64))
+	}
+	spills0, _ := a.SpillsRefills()
+	for _, p := range ps {
+		a.Free(th, p)
+	}
+	spills1, _ := a.SpillsRefills()
+	if spills1 == spills0 {
+		t.Fatal("no spill despite crossing the high watermark")
+	}
+	ts := th.State.(*threadState)
+	class, _ := a.classes.ClassFor(64)
+	if ts.count[class] > 2*lo {
+		t.Fatalf("thread cache holds %d blocks, above high watermark %d", ts.count[class], 2*lo)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchRefill checks that an empty cache refills a full batch with one
+// pool interaction.
+func TestBatchRefill(t *testing.T) {
+	const lo = 8
+	a := New(Config{Watermark: lo}, lf)
+	th := a.NewThread(&env.RealEnv{})
+	_, r0 := a.SpillsRefills()
+	for i := 0; i < lo; i++ {
+		a.Malloc(th, 64)
+	}
+	_, r1 := a.SpillsRefills()
+	if r1-r0 != 1 {
+		t.Fatalf("%d refills for %d allocations; want one batch", r1-r0, lo)
+	}
+}
+
+// TestObjectGranularityMigration shows why this design still false-shares:
+// blocks freed by one thread and spilled can be refilled by another thread,
+// splitting a cache line between threads.
+func TestObjectGranularityMigration(t *testing.T) {
+	const lo = 4
+	a := New(Config{Watermark: lo}, lf)
+	t0 := a.NewThread(&env.RealEnv{ID: 0})
+	t1 := a.NewThread(&env.RealEnv{ID: 1})
+	var ps []alloc.Ptr
+	for i := 0; i < 4*lo; i++ {
+		ps = append(ps, a.Malloc(t0, 64))
+	}
+	for _, p := range ps {
+		a.Free(t0, p) // spills past watermark into global pool
+	}
+	got := a.Malloc(t1, 64)
+	found := false
+	for _, p := range ps {
+		if p == got {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("thread 1 did not receive a block previously owned by thread 0's cache")
+	}
+}

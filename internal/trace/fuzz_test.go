@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the binary decoder never panics and never fabricates
+// events from arbitrary input: it either errors or returns a trace that
+// re-encodes to a decodable equivalent.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	tr := Synthesize(SynthesizeConfig{Threads: 3, Events: 50, MinSize: 1, MaxSize: 100, Seed: 9})
+	tr.Encode(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HGTR"))
+	f.Add(append(append([]byte{}, seed.Bytes()...), 0xFF, 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		again, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again.Events) != len(got.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(got.Events), len(again.Events))
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/vm"
+)
+
+// Recording wraps an allocator so every malloc and free is captured by a
+// Recorder; the resulting trace replays against any allocator. Sizes are
+// recorded as *requested*, so a replay exercises the same request stream
+// rather than the recording allocator's rounding.
+type Recording struct {
+	inner alloc.Allocator
+	rec   *Recorder
+}
+
+// NewRecording wraps inner with recording.
+func NewRecording(inner alloc.Allocator) *Recording {
+	return &Recording{inner: inner, rec: NewRecorder()}
+}
+
+// Trace returns the events captured so far.
+func (r *Recording) Trace() *Trace { return r.rec.Trace() }
+
+// Inner returns the wrapped allocator.
+func (r *Recording) Inner() alloc.Allocator { return r.inner }
+
+// Name implements alloc.Allocator.
+func (r *Recording) Name() string { return r.inner.Name() + "+record" }
+
+// Space implements alloc.Allocator.
+func (r *Recording) Space() *vm.Space { return r.inner.Space() }
+
+// NewThread implements alloc.Allocator.
+func (r *Recording) NewThread(e env.Env) *alloc.Thread { return r.inner.NewThread(e) }
+
+// Malloc implements alloc.Allocator.
+func (r *Recording) Malloc(t *alloc.Thread, size int) alloc.Ptr {
+	p := r.inner.Malloc(t, size)
+	r.rec.Malloc(t.ID, size, p)
+	return p
+}
+
+// Free implements alloc.Allocator.
+func (r *Recording) Free(t *alloc.Thread, p alloc.Ptr) {
+	if p.IsNil() {
+		r.inner.Free(t, p)
+		return
+	}
+	r.rec.Free(t.ID, p)
+	r.inner.Free(t, p)
+}
+
+// UsableSize implements alloc.Allocator.
+func (r *Recording) UsableSize(p alloc.Ptr) int { return r.inner.UsableSize(p) }
+
+// Bytes implements alloc.Allocator.
+func (r *Recording) Bytes(p alloc.Ptr, n int) []byte { return r.inner.Bytes(p, n) }
+
+// Stats implements alloc.Allocator.
+func (r *Recording) Stats() alloc.Stats { return r.inner.Stats() }
+
+// CheckIntegrity implements alloc.Allocator.
+func (r *Recording) CheckIntegrity() error { return r.inner.CheckIntegrity() }

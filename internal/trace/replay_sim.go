@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/simproc"
+	"hoardgo/internal/workload"
+)
+
+// Validate checks a trace is well formed in its recorded global order:
+// every object allocated at most once, every free targets a live object,
+// and thread indices are in range. Parallel replay requires a valid trace.
+func Validate(tr *Trace) error {
+	live := make(map[uint64]bool)
+	for i, ev := range tr.Events {
+		if ev.Thread < 0 || int(ev.Thread) >= tr.Threads {
+			return fmt.Errorf("trace: event %d: thread %d out of range [0,%d)", i, ev.Thread, tr.Threads)
+		}
+		switch ev.Op {
+		case OpMalloc:
+			if live[ev.Obj] {
+				return fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+			}
+			live[ev.Obj] = true
+		case OpFree:
+			if !live[ev.Obj] {
+				return fmt.Errorf("trace: event %d: free of dead object %d", i, ev.Obj)
+			}
+			delete(live, ev.Obj)
+		default:
+			return fmt.Errorf("trace: event %d: unknown op %d", i, ev.Op)
+		}
+	}
+	return nil
+}
+
+// ReplaySim replays the trace on a simulated multiprocessor: each trace
+// thread becomes a simulated thread replaying its own events in order, and
+// a free of an object another thread has not yet allocated blocks on a gate
+// until it exists (per-thread order is preserved; the recorded cross-thread
+// interleaving is relaxed, which is exactly what running the same program
+// on a different schedule does). The harness must be in simulated mode.
+//
+// It returns the replay statistics and the virtual makespan.
+func ReplaySim(tr *Trace, h *workload.Harness) (ReplayResult, int64, error) {
+	if h.World() == nil {
+		return ReplayResult{}, 0, fmt.Errorf("trace: ReplaySim requires a simulated harness")
+	}
+	if err := Validate(tr); err != nil {
+		return ReplayResult{}, 0, err
+	}
+	perThread := make([][]Event, tr.Threads)
+	for _, ev := range tr.Events {
+		perThread[ev.Thread] = append(perThread[ev.Thread], ev)
+	}
+	// Shared replay state. The simulator serializes all access (exactly
+	// one simulated thread runs at a time), so plain maps are safe here.
+	ptrs := make(map[uint64]alloc.Ptr)
+	sizes := make(map[uint64]int32)
+	gates := make(map[uint64]*simproc.Gate)
+	a := h.Allocator()
+	world := h.World()
+
+	h.Par(tr.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		for _, ev := range perThread[id] {
+			switch ev.Op {
+			case OpMalloc:
+				p := a.Malloc(t, int(ev.Size))
+				h.OnAlloc(int(ev.Size))
+				workload.WriteObj(a, e, p, min(int(ev.Size), 64))
+				ptrs[ev.Obj] = p
+				sizes[ev.Obj] = ev.Size
+				if g := gates[ev.Obj]; g != nil {
+					g.Set(e)
+				}
+			case OpFree:
+				p, ok := ptrs[ev.Obj]
+				if !ok {
+					g := gates[ev.Obj]
+					if g == nil {
+						g = world.NewGate()
+						gates[ev.Obj] = g
+					}
+					g.Wait(e)
+					p = ptrs[ev.Obj]
+				}
+				a.Free(t, p)
+				h.OnFree(int(sizes[ev.Obj]))
+				delete(ptrs, ev.Obj)
+				delete(sizes, ev.Obj)
+			}
+		}
+	})
+	res := h.Result(tr.Threads, int64(len(tr.Events)))
+	out := ReplayResult{
+		Mallocs:       res.Alloc.Mallocs,
+		Frees:         res.Alloc.Frees,
+		MaxLive:       res.MaxLive,
+		PeakFootprint: res.VM.PeakCommitted,
+	}
+	return out, res.ElapsedNS, nil
+}

@@ -1,0 +1,325 @@
+// Package trace records and replays allocation traces.
+//
+// A trace is a sequence of malloc/free events with stable object ids, so a
+// workload captured once can be replayed deterministically against any of
+// the allocators — the standard methodology for comparing allocator policies
+// on identical input (and the way the paper's fragmentation measurements
+// are made reproducible here). Traces serialize to a compact varint binary
+// format.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"hoardgo/internal/alloc"
+)
+
+// Op is an event kind.
+type Op uint8
+
+// Event kinds.
+const (
+	// OpMalloc allocates Size bytes as object Obj.
+	OpMalloc Op = iota
+	// OpFree frees object Obj.
+	OpFree
+)
+
+// Event is one allocation event.
+type Event struct {
+	// Op is the event kind.
+	Op Op
+	// Thread is the acting thread's index.
+	Thread int32
+	// Obj is the stable object id (assigned in malloc order).
+	Obj uint64
+	// Size is the request size (OpMalloc only).
+	Size int32
+}
+
+// Trace is a recorded event sequence.
+type Trace struct {
+	// Threads is the number of distinct thread indices used.
+	Threads int
+	// Events in program order.
+	Events []Event
+}
+
+// magic and version head the binary encoding.
+var magic = [4]byte{'H', 'G', 'T', 'R'}
+
+const version = 1
+
+// Encode writes the trace in binary form.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUv(version); err != nil {
+		return err
+	}
+	if err := putUv(uint64(tr.Threads)); err != nil {
+		return err
+	}
+	if err := putUv(uint64(len(tr.Events))); err != nil {
+		return err
+	}
+	for _, ev := range tr.Events {
+		if err := putUv(uint64(ev.Op)); err != nil {
+			return err
+		}
+		if err := putUv(uint64(ev.Thread)); err != nil {
+			return err
+		}
+		if err := putUv(ev.Obj); err != nil {
+			return err
+		}
+		if ev.Op == OpMalloc {
+			if err := putUv(uint64(ev.Size)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	threads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Threads: int(threads), Events: make([]Event, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		op, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		th, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ev := Event{Op: Op(op), Thread: int32(th), Obj: obj}
+		if ev.Op == OpMalloc {
+			sz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ev.Size = int32(sz)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr, nil
+}
+
+// Recorder captures events from a running program. Safe for concurrent use;
+// the recorded order is the serialization order of the recorder's lock.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	objs    map[alloc.Ptr]uint64
+	nextObj uint64
+	threads int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{objs: make(map[alloc.Ptr]uint64)}
+}
+
+// Malloc records an allocation of size bytes by thread, returning p's
+// object id.
+func (r *Recorder) Malloc(thread int, size int, p alloc.Ptr) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextObj
+	r.nextObj++
+	r.objs[p] = id
+	r.track(thread)
+	r.events = append(r.events, Event{Op: OpMalloc, Thread: int32(thread), Obj: id, Size: int32(size)})
+	return id
+}
+
+// Free records a deallocation by thread.
+func (r *Recorder) Free(thread int, p alloc.Ptr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.objs[p]
+	if !ok {
+		panic(fmt.Sprintf("trace: free of unrecorded pointer %#x", uint64(p)))
+	}
+	delete(r.objs, p)
+	r.track(thread)
+	r.events = append(r.events, Event{Op: OpFree, Thread: int32(thread), Obj: id})
+}
+
+func (r *Recorder) track(thread int) {
+	if thread+1 > r.threads {
+		r.threads = thread + 1
+	}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Trace{Threads: r.threads, Events: r.events}
+}
+
+// ReplayResult reports a replay's outcome.
+type ReplayResult struct {
+	// Mallocs and Frees count executed events.
+	Mallocs, Frees int64
+	// MaxLive is the peak requested live bytes during replay.
+	MaxLive int64
+	// PeakFootprint is the allocator's peak committed memory.
+	PeakFootprint int64
+}
+
+// Fragmentation is peak footprint over peak live.
+func (r ReplayResult) Fragmentation() float64 {
+	if r.MaxLive == 0 {
+		return 0
+	}
+	return float64(r.PeakFootprint) / float64(r.MaxLive)
+}
+
+// Replay executes the trace against a, sequentially in recorded order,
+// using one allocator thread per trace thread. It validates the trace
+// (frees of unknown or double-freed objects fail) and returns the replay's
+// memory statistics.
+func Replay(tr *Trace, a alloc.Allocator, mkThread func(i int) *alloc.Thread) (ReplayResult, error) {
+	threads := make([]*alloc.Thread, tr.Threads)
+	for i := range threads {
+		threads[i] = mkThread(i)
+	}
+	livePtr := make(map[uint64]alloc.Ptr, 1024)
+	liveSize := make(map[uint64]int32, 1024)
+	var res ReplayResult
+	var live int64
+	for i, ev := range tr.Events {
+		if int(ev.Thread) >= len(threads) {
+			return res, fmt.Errorf("trace: event %d: thread %d out of range", i, ev.Thread)
+		}
+		t := threads[ev.Thread]
+		switch ev.Op {
+		case OpMalloc:
+			if _, dup := livePtr[ev.Obj]; dup {
+				return res, fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+			}
+			p := a.Malloc(t, int(ev.Size))
+			livePtr[ev.Obj] = p
+			liveSize[ev.Obj] = ev.Size
+			res.Mallocs++
+			live += int64(ev.Size)
+			if live > res.MaxLive {
+				res.MaxLive = live
+			}
+		case OpFree:
+			p, ok := livePtr[ev.Obj]
+			if !ok {
+				return res, fmt.Errorf("trace: event %d: free of dead object %d", i, ev.Obj)
+			}
+			a.Free(t, p)
+			live -= int64(liveSize[ev.Obj])
+			delete(livePtr, ev.Obj)
+			delete(liveSize, ev.Obj)
+			res.Frees++
+		default:
+			return res, fmt.Errorf("trace: event %d: unknown op %d", i, ev.Op)
+		}
+	}
+	res.PeakFootprint = a.Space().PeakCommitted()
+	return res, nil
+}
+
+// SynthesizeConfig shapes a synthetic trace.
+type SynthesizeConfig struct {
+	// Threads is the thread count.
+	Threads int
+	// Events is the total event count (mallocs + frees; the generator
+	// frees everything at the end regardless).
+	Events int
+	// MinSize and MaxSize bound request sizes.
+	MinSize, MaxSize int
+	// CrossFree is the probability [0,1] that a free is issued by a
+	// different thread than the allocation (producer-consumer intensity).
+	CrossFree float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Synthesize generates a random but well-formed trace: every free targets a
+// live object, and all objects are freed by the end.
+func Synthesize(cfg SynthesizeConfig) *Trace {
+	if cfg.Threads < 1 || cfg.Events < 2 || cfg.MinSize < 0 || cfg.MaxSize < cfg.MinSize {
+		panic(fmt.Sprintf("trace: bad synthesize config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Threads: cfg.Threads}
+	type liveObj struct {
+		id    uint64
+		owner int32
+	}
+	var live []liveObj
+	var next uint64
+	for len(tr.Events) < cfg.Events {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			th := int32(rng.Intn(cfg.Threads))
+			sz := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+			tr.Events = append(tr.Events, Event{Op: OpMalloc, Thread: th, Obj: next, Size: int32(sz)})
+			live = append(live, liveObj{next, th})
+			next++
+		} else {
+			i := rng.Intn(len(live))
+			o := live[i]
+			th := o.owner
+			if rng.Float64() < cfg.CrossFree {
+				th = int32(rng.Intn(cfg.Threads))
+			}
+			tr.Events = append(tr.Events, Event{Op: OpFree, Thread: th, Obj: o.id})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	for _, o := range live {
+		tr.Events = append(tr.Events, Event{Op: OpFree, Thread: o.owner, Obj: o.id})
+	}
+	return tr
+}

@@ -1,0 +1,359 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/env"
+	"hoardgo/internal/simproc"
+	"hoardgo/internal/workload"
+)
+
+func mkAlloc(name string) (alloc.Allocator, func(i int) *alloc.Thread) {
+	a := allocators.MustMake(name, 4, env.RealLockFactory{})
+	return a, func(i int) *alloc.Thread { return a.NewThread(&env.RealEnv{ID: i}) }
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 3, Events: 500, MinSize: 1, MaxSize: 2000, CrossFree: 0.3, Seed: 7})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threads != tr.Threads || len(got.Events) != len(tr.Events) {
+		t.Fatalf("decoded %d threads %d events, want %d/%d", got.Threads, len(got.Events), tr.Threads, len(tr.Events))
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != got.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, th uint8, n uint16) bool {
+		cfg := SynthesizeConfig{
+			Threads: int(th)%6 + 1,
+			Events:  int(n)%800 + 2,
+			MinSize: 1, MaxSize: 500,
+			CrossFree: 0.5,
+			Seed:      seed,
+		}
+		tr := Synthesize(cfg)
+		var buf bytes.Buffer
+		if tr.Encode(&buf) != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != got.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	var buf bytes.Buffer
+	tr := Synthesize(SynthesizeConfig{Threads: 1, Events: 10, MinSize: 8, MaxSize: 8, Seed: 1})
+	tr.Encode(&buf)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestRecorderAssignsStableIDs(t *testing.T) {
+	r := NewRecorder()
+	id0 := r.Malloc(0, 64, alloc.Ptr(0x1000))
+	id1 := r.Malloc(1, 128, alloc.Ptr(0x2000))
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("ids %d,%d", id0, id1)
+	}
+	r.Free(1, alloc.Ptr(0x1000))
+	tr := r.Trace()
+	if tr.Threads != 2 || len(tr.Events) != 3 {
+		t.Fatalf("trace %+v", tr)
+	}
+	if tr.Events[2] != (Event{Op: OpFree, Thread: 1, Obj: 0}) {
+		t.Fatalf("free event %+v", tr.Events[2])
+	}
+}
+
+func TestRecorderFreeUnknownPanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unrecorded pointer did not panic")
+		}
+	}()
+	r.Free(0, alloc.Ptr(0xdead))
+}
+
+func TestReplayAgainstAllAllocators(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 4, Events: 3000, MinSize: 1, MaxSize: 3000, CrossFree: 0.4, Seed: 11})
+	for _, name := range allocators.Names() {
+		t.Run(name, func(t *testing.T) {
+			a, mk := mkAlloc(name)
+			res, err := Replay(tr, a, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mallocs == 0 || res.Mallocs != res.Frees {
+				t.Fatalf("replay mallocs=%d frees=%d", res.Mallocs, res.Frees)
+			}
+			if res.Fragmentation() < 1.0 {
+				t.Fatalf("fragmentation %v < 1", res.Fragmentation())
+			}
+			if got := a.Stats().LiveBytes; got != 0 {
+				t.Fatalf("LiveBytes = %d after replay", got)
+			}
+			if err := a.CheckIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReplayDetectsMalformedTraces(t *testing.T) {
+	a, mk := mkAlloc("hoard")
+	bad := &Trace{Threads: 1, Events: []Event{{Op: OpFree, Thread: 0, Obj: 5}}}
+	if _, err := Replay(bad, a, mk); err == nil {
+		t.Fatal("free of dead object accepted")
+	}
+	a2, mk2 := mkAlloc("hoard")
+	bad2 := &Trace{Threads: 1, Events: []Event{
+		{Op: OpMalloc, Thread: 0, Obj: 0, Size: 8},
+		{Op: OpMalloc, Thread: 0, Obj: 0, Size: 8},
+	}}
+	if _, err := Replay(bad2, a2, mk2); err == nil {
+		t.Fatal("duplicate object id accepted")
+	}
+	a3, mk3 := mkAlloc("hoard")
+	bad3 := &Trace{Threads: 1, Events: []Event{{Op: OpMalloc, Thread: 9, Obj: 0, Size: 8}}}
+	if _, err := Replay(bad3, a3, mk3); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+// TestRecordThenReplayEquivalence records a live run and replays it: the
+// replayed allocator must see the identical malloc/free counts.
+func TestRecordThenReplayEquivalence(t *testing.T) {
+	a, mk := mkAlloc("hoard")
+	rec := NewRecorder()
+	th := mk(0)
+	var live []alloc.Ptr
+	for i := 0; i < 1000; i++ {
+		if len(live) == 0 || i%3 != 0 {
+			sz := 8 + i%500
+			p := a.Malloc(th, sz)
+			rec.Malloc(0, sz, p)
+			live = append(live, p)
+		} else {
+			p := live[len(live)-1]
+			live = live[:len(live)-1]
+			rec.Free(0, p)
+			a.Free(th, p)
+		}
+	}
+	for _, p := range live {
+		rec.Free(0, p)
+		a.Free(th, p)
+	}
+	tr := rec.Trace()
+	b, mkB := mkAlloc("serial")
+	res, err := Replay(tr, b, mkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if res.Mallocs != st.Mallocs || res.Frees != st.Frees {
+		t.Fatalf("replay %d/%d, original %d/%d", res.Mallocs, res.Frees, st.Mallocs, st.Frees)
+	}
+}
+
+func TestSynthesizeWellFormed(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 4, Events: 2000, MinSize: 1, MaxSize: 100, CrossFree: 1.0, Seed: 3})
+	live := map[uint64]bool{}
+	for i, ev := range tr.Events {
+		switch ev.Op {
+		case OpMalloc:
+			if live[ev.Obj] {
+				t.Fatalf("event %d: double alloc", i)
+			}
+			live[ev.Obj] = true
+		case OpFree:
+			if !live[ev.Obj] {
+				t.Fatalf("event %d: free of dead object", i)
+			}
+			delete(live, ev.Obj)
+		}
+	}
+	if len(live) != 0 {
+		t.Fatalf("%d objects leaked by generator", len(live))
+	}
+}
+
+func TestSynthesizeBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	Synthesize(SynthesizeConfig{Threads: 0, Events: 10, MinSize: 1, MaxSize: 2})
+}
+
+func TestReplaySim(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 4, Events: 4000, MinSize: 8, MaxSize: 2000, CrossFree: 0.5, Seed: 21})
+	for _, name := range []string{"hoard", "serial"} {
+		t.Run(name, func(t *testing.T) {
+			h := workload.NewSim(name, 4, simproc.DefaultCosts)
+			res, makespan, err := ReplaySim(tr, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if makespan <= 0 {
+				t.Fatalf("makespan = %d", makespan)
+			}
+			if res.Mallocs == 0 || res.Mallocs != res.Frees {
+				t.Fatalf("mallocs=%d frees=%d", res.Mallocs, res.Frees)
+			}
+			if got := h.Allocator().Stats().LiveBytes; got != 0 {
+				t.Fatalf("LiveBytes = %d after replay", got)
+			}
+			if err := h.Allocator().CheckIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReplaySimDeterministic(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 3, Events: 2000, MinSize: 8, MaxSize: 500, CrossFree: 0.7, Seed: 5})
+	run := func() int64 {
+		h := workload.NewSim("hoard", 3, simproc.DefaultCosts)
+		_, makespan, err := ReplaySim(tr, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic replay: %d vs %d", a, b)
+	}
+}
+
+func TestReplaySimCrossThreadGates(t *testing.T) {
+	// Thread 1 frees an object thread 0 allocates much later in virtual
+	// time: the gate must hold the free until the alloc exists.
+	tr := &Trace{Threads: 2, Events: []Event{
+		{Op: OpMalloc, Thread: 0, Obj: 0, Size: 64},
+		{Op: OpFree, Thread: 1, Obj: 0},
+		{Op: OpMalloc, Thread: 0, Obj: 1, Size: 64},
+		{Op: OpFree, Thread: 1, Obj: 1},
+	}}
+	h := workload.NewSim("hoard", 2, simproc.DefaultCosts)
+	res, _, err := ReplaySim(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mallocs != 2 || res.Frees != 2 {
+		t.Fatalf("replay %+v", res)
+	}
+}
+
+func TestReplaySimRejectsRealHarness(t *testing.T) {
+	tr := Synthesize(SynthesizeConfig{Threads: 2, Events: 10, MinSize: 8, MaxSize: 8, Seed: 1})
+	h := workload.NewReal("hoard", 2)
+	if _, _, err := ReplaySim(tr, h); err == nil {
+		t.Fatal("real-mode harness accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Synthesize(SynthesizeConfig{Threads: 2, Events: 100, MinSize: 8, MaxSize: 64, Seed: 2})
+	if err := Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{Threads: 1, Events: []Event{{Op: OpFree, Thread: 0, Obj: 9}}}
+	if Validate(bad) == nil {
+		t.Fatal("free-before-alloc accepted")
+	}
+	bad2 := &Trace{Threads: 1, Events: []Event{{Op: OpMalloc, Thread: 3, Obj: 0, Size: 8}}}
+	if Validate(bad2) == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+func TestRecordingWrapper(t *testing.T) {
+	inner := allocators.MustMake("hoard", 2, env.RealLockFactory{})
+	r := NewRecording(inner)
+	th := r.NewThread(&env.RealEnv{ID: 0})
+	p := r.Malloc(th, 100)
+	r.Bytes(p, 100)[0] = 1
+	if r.UsableSize(p) < 100 {
+		t.Fatal("usable size")
+	}
+	r.Free(th, 0) // nil free not recorded
+	r.Free(th, p)
+	tr := r.Trace()
+	if len(tr.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(tr.Events))
+	}
+	if tr.Events[0].Size != 100 {
+		t.Fatalf("recorded size %d, want the requested 100", tr.Events[0].Size)
+	}
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "hoard+record" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+// TestRecordSimThenReplaySim: record a benchmark on the simulator, replay
+// the trace on a different allocator — end-to-end of the trace pipeline.
+func TestRecordSimThenReplaySim(t *testing.T) {
+	var rec *Recording
+	h := workload.NewSimMaker("hoard", 2, simproc.DefaultCosts,
+		func(p int, lf env.LockFactory) alloc.Allocator {
+			rec = NewRecording(allocators.MustMake("hoard", p, lf))
+			return rec
+		})
+	workload.Threadtest(h, workload.ThreadtestConfig{Threads: 2, Iterations: 1, Objects: 2000, ObjSize: 8})
+	tr := rec.Trace()
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	h2 := workload.NewSim("dlheap", 2, simproc.DefaultCosts)
+	res, _, err := ReplaySim(tr, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mallocs != 2000 || res.Frees != 2000 {
+		t.Fatalf("replay %+v", res)
+	}
+}

@@ -1,0 +1,45 @@
+package vm
+
+import "testing"
+
+// FuzzReserveRelease drives the address space with byte-coded operations
+// and checks lookup consistency, accounting, and recycling at every step.
+func FuzzReserveRelease(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x80, 0x03})
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x01, 0x02, 0x03, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		var live []*Span
+		var want int64
+		for i := 0; i+1 < len(data) && i < 400; i += 2 {
+			op, arg := data[i], data[i+1]
+			if op&1 == 0 || len(live) == 0 {
+				size := (int(arg)%8 + 1) * PageSize
+				align := PageSize << (int(op>>4) % 4)
+				sp := s.Reserve(size, align, i)
+				if sp.Base%uint64(align) != 0 {
+					t.Fatalf("misaligned reserve %#x align %d", sp.Base, align)
+				}
+				if got := s.Lookup(sp.Base + uint64(sp.Len) - 1); got != sp {
+					t.Fatal("last byte lookup failed")
+				}
+				live = append(live, sp)
+				want += int64(sp.Len)
+			} else {
+				idx := int(arg) % len(live)
+				sp := live[idx]
+				base := sp.Base
+				want -= int64(sp.Len)
+				s.Release(sp)
+				if s.Lookup(base) != nil {
+					t.Fatal("released span still visible")
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if got := s.Committed(); got != want {
+				t.Fatalf("committed %d, want %d", got, want)
+			}
+		}
+	})
+}

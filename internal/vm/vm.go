@@ -1,0 +1,282 @@
+// Package vm provides a simulated operating-system memory interface.
+//
+// Go's runtime owns real allocation, so this reproduction of Hoard manages
+// an explicit, simulated 48-bit address space instead of interposing on
+// malloc. Allocators reserve page-aligned spans (the moral equivalent of
+// mmap/sbrk), hand out addresses inside them, and look spans back up from
+// raw addresses on free — exactly the page-map technique production
+// allocators use. Every span is backed by a real Go byte slab, so the memory
+// handed out is genuinely readable and writable and blocks that share a
+// simulated cache line also share physical memory.
+//
+// The Space tracks committed bytes and their high-water mark, which is what
+// the paper's fragmentation and blowup experiments measure.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageShift is log2 of the page size of the simulated OS.
+	PageShift = 12
+	// PageSize is the page size of the simulated OS (4 KiB, as on the
+	// paper's UltraSPARC/Solaris platform).
+	PageSize = 1 << PageShift
+
+	// l1Bits and l2Bits size the two-level page table. Together with
+	// PageShift they cover a 2^(11+14+12) = 128 GiB address space, far
+	// beyond any experiment here.
+	l1Bits = 11
+	l2Bits = 14
+
+	l1Size = 1 << l1Bits
+	l2Size = 1 << l2Bits
+
+	// baseAddr is the first address ever handed out. Zero is reserved so
+	// that 0 can serve as the allocator's nil.
+	baseAddr = 1 << 20
+
+	maxAddr = 1 << (l1Bits + l2Bits + PageShift)
+)
+
+// Span is a contiguous page-aligned region of the simulated address space,
+// obtained from a Space and backed by real memory.
+type Span struct {
+	// Base is the first simulated address of the span.
+	Base uint64
+	// Len is the usable length in bytes (a multiple of the page size).
+	Len int
+	// Owner is an arbitrary tag attached by the reserving allocator,
+	// typically its superblock or large-object header. It is set before
+	// the span becomes visible to Lookup and must not be mutated while
+	// the span is live.
+	Owner any
+
+	data []byte
+}
+
+// Bytes returns a view of n bytes of the span's backing memory starting at
+// byte offset off. It panics if the range is out of bounds.
+func (sp *Span) Bytes(off, n int) []byte {
+	return sp.data[off : off+n : off+n]
+}
+
+// Data returns the span's entire backing memory.
+func (sp *Span) Data() []byte { return sp.data }
+
+// End returns the address one past the last byte of the span.
+func (sp *Span) End() uint64 { return sp.Base + uint64(sp.Len) }
+
+// Stats is a snapshot of a Space's accounting.
+type Stats struct {
+	// Committed is the number of bytes currently reserved and backed.
+	Committed int64
+	// PeakCommitted is the high-water mark of Committed. This is the "max
+	// heap" measurement used by the paper's fragmentation table.
+	PeakCommitted int64
+	// Reserves and Releases count Reserve and Release calls.
+	Reserves, Releases int64
+	// Recycled counts Reserve calls satisfied from the recycle pool
+	// rather than fresh backing memory.
+	Recycled int64
+}
+
+// Space is a simulated OS address space. All methods are safe for concurrent
+// use; Lookup and Bytes are lock-free.
+type Space struct {
+	mu      sync.Mutex
+	next    uint64
+	pool    map[int][]*Span // released spans by length, for reuse
+	poisons bool
+
+	committed atomic.Int64
+	peak      atomic.Int64
+	reserves  atomic.Int64
+	releases  atomic.Int64
+	recycled  atomic.Int64
+
+	l1 [l1Size]atomic.Pointer[l2node]
+}
+
+type l2node [l2Size]atomic.Pointer[Span]
+
+// New returns an empty Space.
+func New() *Space {
+	return &Space{next: baseAddr, pool: make(map[int][]*Span)}
+}
+
+// SetPoison controls whether released span memory is overwritten with a
+// poison pattern (0xDB) before reuse, to flush out use-after-free bugs in
+// tests. It is off by default.
+func (s *Space) SetPoison(on bool) {
+	s.mu.Lock()
+	s.poisons = on
+	s.mu.Unlock()
+}
+
+// Reserve returns a new span of size bytes (rounded up to whole pages) whose
+// base address is a multiple of align. align must be zero or a power of two;
+// zero means page alignment. The owner tag is attached before the span is
+// published. Reserve panics if size is not positive or align is invalid.
+func (s *Space) Reserve(size, align int, owner any) *Span {
+	if size <= 0 {
+		panic(fmt.Sprintf("vm: Reserve size %d", size))
+	}
+	if align == 0 {
+		align = PageSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("vm: Reserve align %d not a power of two", align))
+	}
+	if align < PageSize {
+		align = PageSize
+	}
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+
+	s.mu.Lock()
+	sp := s.takeFromPoolLocked(size, align)
+	if sp == nil {
+		base := (s.next + uint64(align) - 1) &^ (uint64(align) - 1)
+		if base+uint64(size) > maxAddr {
+			s.mu.Unlock()
+			panic("vm: simulated address space exhausted")
+		}
+		s.next = base + uint64(size)
+		sp = &Span{Base: base, Len: size, data: make([]byte, size)}
+	}
+	sp.Owner = owner
+	s.publishLocked(sp)
+	s.mu.Unlock()
+
+	s.reserves.Add(1)
+	c := s.committed.Add(int64(size))
+	for {
+		p := s.peak.Load()
+		if c <= p || s.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	return sp
+}
+
+// takeFromPoolLocked pops a recycled span of exactly the given size whose
+// base satisfies align, if one exists.
+func (s *Space) takeFromPoolLocked(size, align int) *Span {
+	list := s.pool[size]
+	for i, sp := range list {
+		if sp.Base&(uint64(align)-1) == 0 {
+			list[i] = list[len(list)-1]
+			s.pool[size] = list[:len(list)-1]
+			s.recycled.Add(1)
+			return sp
+		}
+	}
+	return nil
+}
+
+// Release returns a span to the simulated OS. The span's addresses become
+// invalid: Lookup returns nil for them until the region is reserved again.
+func (s *Space) Release(sp *Span) {
+	if sp == nil {
+		panic("vm: Release(nil)")
+	}
+	s.mu.Lock()
+	s.unpublishLocked(sp)
+	sp.Owner = nil
+	if s.poisons {
+		for i := range sp.data {
+			sp.data[i] = 0xDB
+		}
+	}
+	s.pool[sp.Len] = append(s.pool[sp.Len], sp)
+	s.mu.Unlock()
+
+	s.releases.Add(1)
+	s.committed.Add(int64(-sp.Len))
+}
+
+func (s *Space) publishLocked(sp *Span) {
+	for a := sp.Base; a < sp.End(); a += PageSize {
+		s.node(a).pageSlot(a).Store(sp)
+	}
+}
+
+func (s *Space) unpublishLocked(sp *Span) {
+	for a := sp.Base; a < sp.End(); a += PageSize {
+		s.node(a).pageSlot(a).Store(nil)
+	}
+}
+
+// node returns the level-2 table covering addr, creating it if needed.
+// Creation races are benign double-stores under s.mu; reads are lock-free.
+func (s *Space) node(addr uint64) *l2node {
+	i := addr >> (PageShift + l2Bits)
+	n := s.l1[i].Load()
+	if n == nil {
+		n = new(l2node)
+		if !s.l1[i].CompareAndSwap(nil, n) {
+			n = s.l1[i].Load()
+		}
+	}
+	return n
+}
+
+func (n *l2node) pageSlot(addr uint64) *atomic.Pointer[Span] {
+	return &n[(addr>>PageShift)&(l2Size-1)]
+}
+
+// Lookup returns the span containing addr, or nil if addr is not part of any
+// live span. It is lock-free and safe for concurrent use.
+func (s *Space) Lookup(addr uint64) *Span {
+	if addr >= maxAddr {
+		return nil
+	}
+	n := s.l1[addr>>(PageShift+l2Bits)].Load()
+	if n == nil {
+		return nil
+	}
+	sp := n.pageSlot(addr).Load()
+	if sp == nil || addr < sp.Base || addr >= sp.End() {
+		return nil
+	}
+	return sp
+}
+
+// Bytes returns a view of n bytes of backing memory at the simulated address
+// addr. It panics if the range is not fully inside one live span, which
+// always indicates an allocator bug or a use-after-free.
+func (s *Space) Bytes(addr uint64, n int) []byte {
+	sp := s.Lookup(addr)
+	if sp == nil {
+		panic(fmt.Sprintf("vm: Bytes(%#x, %d): no span at address", addr, n))
+	}
+	off := int(addr - sp.Base)
+	if off+n > sp.Len {
+		panic(fmt.Sprintf("vm: Bytes(%#x, %d): range escapes span [%#x,%#x)", addr, n, sp.Base, sp.End()))
+	}
+	return sp.data[off : off+n : off+n]
+}
+
+// Stats returns a snapshot of the space's accounting.
+func (s *Space) Stats() Stats {
+	return Stats{
+		Committed:     s.committed.Load(),
+		PeakCommitted: s.peak.Load(),
+		Reserves:      s.reserves.Load(),
+		Releases:      s.releases.Load(),
+		Recycled:      s.recycled.Load(),
+	}
+}
+
+// Committed returns the number of bytes currently committed.
+func (s *Space) Committed() int64 { return s.committed.Load() }
+
+// PeakCommitted returns the high-water mark of committed bytes.
+func (s *Space) PeakCommitted() int64 { return s.peak.Load() }
+
+// ResetPeak lowers the peak-committed mark to the current committed value,
+// so an experiment can measure its own high-water mark in a reused space.
+func (s *Space) ResetPeak() { s.peak.Store(s.committed.Load()) }

@@ -1,0 +1,444 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// BarnesHutConfig parameterizes the Barnes-Hut n-body benchmark from the
+// paper's application suite. Each timestep rebuilds an octree of small
+// nodes (the allocation load), computes forces by tree traversal (the
+// compute load), and frees the tree — the classic churn pattern that
+// rewards fast, scalable allocation without cross-thread frees.
+//
+// Bodies are partitioned *spatially* across threads (by Morton order, as
+// parallel n-body codes do): each thread builds an octree over a compact
+// region and every thread computes forces against all partial trees — force
+// superposition makes the forest decomposition exact, and spatial
+// compactness lets the opening-angle test prune distant partial trees near
+// their roots. Tree nodes live in allocator memory and are read through it,
+// so traversal costs reflect the allocator's placement decisions.
+type BarnesHutConfig struct {
+	// Threads is the worker count.
+	Threads int
+	// Bodies is the total body count, split across threads.
+	Bodies int
+	// Steps is the number of timesteps (tree rebuilds).
+	Steps int
+	// Theta is the Barnes-Hut opening angle (0.5 classically).
+	Theta float64
+	// DT is the integration timestep.
+	DT float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultBarnesHut gives a simulation-friendly instance.
+func DefaultBarnesHut(threads int) BarnesHutConfig {
+	return BarnesHutConfig{
+		Threads: threads,
+		Bodies:  2000,
+		Steps:   2,
+		Theta:   0.7,
+		DT:      1e-3,
+		Seed:    1,
+	}
+}
+
+// Octree node layout in allocator memory (all fields little-endian):
+//
+//	[0,64)    8 child pointers
+//	[64,72)   mass
+//	[72,96)   center of mass x,y,z
+//	[96,120)  cell center x,y,z
+//	[120,128) cell half-width
+//	[128,136) body index (-1 if internal or empty)
+//	[136,144) subtree body count
+const (
+	nodeSize    = 144
+	offChildren = 0
+	offMass     = 64
+	offCOM      = 72
+	offCenter   = 96
+	offHalf     = 120
+	offBody     = 128
+	offCount    = 136
+)
+
+// bhTree builds and traverses one thread's octree through the allocator.
+type bhTree struct {
+	a      alloc.Allocator
+	t      *alloc.Thread
+	e      env.Env
+	h      *Harness
+	allocs int64
+	visits int64 // nodes visited by force traversals (costzone weights)
+}
+
+func f64get(b []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+}
+
+func f64put(b []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+}
+
+func i64get(b []byte, off int) int64 {
+	return int64(binary.LittleEndian.Uint64(b[off:]))
+}
+
+func i64put(b []byte, off int, v int64) {
+	binary.LittleEndian.PutUint64(b[off:], uint64(v))
+}
+
+func childGet(b []byte, q int) alloc.Ptr {
+	return alloc.Ptr(binary.LittleEndian.Uint64(b[offChildren+8*q:]))
+}
+
+func childPut(b []byte, q int, p alloc.Ptr) {
+	binary.LittleEndian.PutUint64(b[offChildren+8*q:], uint64(p))
+}
+
+// newNode allocates an empty cell.
+func (bt *bhTree) newNode(cx, cy, cz, half float64) alloc.Ptr {
+	p := bt.a.Malloc(bt.t, nodeSize)
+	bt.h.OnAlloc(nodeSize)
+	bt.allocs++
+	b := bt.a.Bytes(p, nodeSize)
+	for i := range b {
+		b[i] = 0
+	}
+	f64put(b, offCenter, cx)
+	f64put(b, offCenter+8, cy)
+	f64put(b, offCenter+16, cz)
+	f64put(b, offHalf, half)
+	i64put(b, offBody, -1)
+	bt.e.Touch(uint64(p), nodeSize, true)
+	return p
+}
+
+// insert adds body bi (at position pos) to the subtree rooted at p.
+func (bt *bhTree) insert(p alloc.Ptr, bi int, pos [][3]float64) {
+	for depth := 0; ; depth++ {
+		b := bt.a.Bytes(p, nodeSize)
+		bt.e.Touch(uint64(p), nodeSize, true)
+		bt.e.Charge(env.OpWork, 30)
+		count := i64get(b, offCount)
+		if count == 0 {
+			i64put(b, offBody, int64(bi))
+			i64put(b, offCount, 1)
+			return
+		}
+		half := f64get(b, offHalf)
+		if count == 1 {
+			if half < 1e-9 || depth > 40 {
+				// Degenerate co-location: aggregate in place.
+				i64put(b, offCount, count+1)
+				return
+			}
+			// Split the leaf: push the resident body down.
+			old := int(i64get(b, offBody))
+			i64put(b, offBody, -1)
+			bt.insertChild(p, old, pos)
+			b = bt.a.Bytes(p, nodeSize)
+		}
+		i64put(b, offCount, i64get(b, offCount)+1)
+		p = bt.childFor(p, pos[bi])
+	}
+}
+
+// childFor returns (creating if needed) the child cell containing position,
+// for continuation of the insertion loop.
+func (bt *bhTree) childFor(p alloc.Ptr, at [3]float64) alloc.Ptr {
+	b := bt.a.Bytes(p, nodeSize)
+	cx, cy, cz := f64get(b, offCenter), f64get(b, offCenter+8), f64get(b, offCenter+16)
+	half := f64get(b, offHalf)
+	q := 0
+	nx, ny, nz := cx-half/2, cy-half/2, cz-half/2
+	if at[0] >= cx {
+		q |= 1
+		nx = cx + half/2
+	}
+	if at[1] >= cy {
+		q |= 2
+		ny = cy + half/2
+	}
+	if at[2] >= cz {
+		q |= 4
+		nz = cz + half/2
+	}
+	c := childGet(b, q)
+	if c.IsNil() {
+		c = bt.newNode(nx, ny, nz, half/2)
+		b = bt.a.Bytes(p, nodeSize) // re-view after allocation
+		childPut(b, q, c)
+		bt.e.Touch(uint64(p), 8, true)
+	}
+	return c
+}
+
+// insertChild routes an already-resident body one level down (used when
+// splitting a leaf).
+func (bt *bhTree) insertChild(p alloc.Ptr, bi int, pos [][3]float64) {
+	c := bt.childFor(p, pos[bi])
+	cb := bt.a.Bytes(c, nodeSize)
+	bt.e.Touch(uint64(c), nodeSize, true)
+	// The child is fresh or a leaf chain; reuse insert's loop from there.
+	if i64get(cb, offCount) == 0 {
+		i64put(cb, offBody, int64(bi))
+		i64put(cb, offCount, 1)
+		return
+	}
+	bt.insert(c, bi, pos)
+	// Correct double count: insert incremented the child's count, but the
+	// parent already accounted this body once overall; counts are per
+	// subtree so no adjustment is needed.
+}
+
+// summarize computes mass and center-of-mass bottom-up.
+func (bt *bhTree) summarize(p alloc.Ptr, pos [][3]float64, mass []float64) (m, x, y, z float64) {
+	b := bt.a.Bytes(p, nodeSize)
+	bt.e.Touch(uint64(p), nodeSize, true)
+	bt.e.Charge(env.OpWork, 30)
+	if bi := i64get(b, offBody); bi >= 0 {
+		n := float64(i64get(b, offCount)) // co-located aggregates
+		m = mass[bi] * n
+		x, y, z = pos[bi][0], pos[bi][1], pos[bi][2]
+		f64put(b, offMass, m)
+		f64put(b, offCOM, x)
+		f64put(b, offCOM+8, y)
+		f64put(b, offCOM+16, z)
+		return m, x, y, z
+	}
+	var sx, sy, sz float64
+	for q := 0; q < 8; q++ {
+		c := childGet(b, q)
+		if c.IsNil() {
+			continue
+		}
+		cm, cx, cy, cz := bt.summarize(c, pos, mass)
+		m += cm
+		sx += cm * cx
+		sy += cm * cy
+		sz += cm * cz
+	}
+	if m > 0 {
+		x, y, z = sx/m, sy/m, sz/m
+	}
+	f64put(b, offMass, m)
+	f64put(b, offCOM, x)
+	f64put(b, offCOM+8, y)
+	f64put(b, offCOM+16, z)
+	return m, x, y, z
+}
+
+// force accumulates the acceleration on body bi from the subtree at p.
+func (bt *bhTree) force(p alloc.Ptr, bi int, pos [][3]float64, theta float64, acc *[3]float64) {
+	b := bt.a.Bytes(p, nodeSize)
+	bt.e.Touch(uint64(p), nodeSize, false)
+	bt.e.Charge(env.OpWork, 30)
+	bt.visits++
+	count := i64get(b, offCount)
+	if count == 0 {
+		return
+	}
+	m := f64get(b, offMass)
+	x := f64get(b, offCOM)
+	y := f64get(b, offCOM+8)
+	z := f64get(b, offCOM+16)
+	dx, dy, dz := x-pos[bi][0], y-pos[bi][1], z-pos[bi][2]
+	dist2 := dx*dx + dy*dy + dz*dz
+	leafBody := i64get(b, offBody)
+	if leafBody == int64(bi) {
+		return // self
+	}
+	half := f64get(b, offHalf)
+	if leafBody >= 0 || (2*half)*(2*half) < theta*theta*dist2 {
+		dist2 += 1e-6 // softening
+		inv := 1 / (dist2 * math.Sqrt(dist2))
+		*acc = [3]float64{acc[0] + m*dx*inv, acc[1] + m*dy*inv, acc[2] + m*dz*inv}
+		return
+	}
+	for q := 0; q < 8; q++ {
+		if c := childGet(b, q); !c.IsNil() {
+			bt.force(c, bi, pos, theta, acc)
+		}
+	}
+}
+
+// freeTree releases every node post-order.
+func (bt *bhTree) freeTree(p alloc.Ptr) {
+	b := bt.a.Bytes(p, nodeSize)
+	for q := 0; q < 8; q++ {
+		if c := childGet(b, q); !c.IsNil() {
+			bt.freeTree(c)
+		}
+	}
+	bt.a.Free(bt.t, p)
+	bt.h.OnFree(nodeSize)
+	bt.allocs++
+}
+
+// mortonKey interleaves the top 21 bits of each quantized coordinate,
+// giving the space-filling order used to partition bodies spatially.
+func mortonKey(p [3]float64) uint64 {
+	var key uint64
+	for d := 0; d < 3; d++ {
+		// Quantize [-1.5, 1.5) to 21 bits.
+		q := uint64((p[d] + 1.5) / 3.0 * (1 << 21))
+		if q >= 1<<21 {
+			q = 1<<21 - 1
+		}
+		key |= spread3(q) << uint(d)
+	}
+	return key
+}
+
+// spread3 spaces the low 21 bits of x three apart.
+func spread3(x uint64) uint64 {
+	x &= (1 << 21) - 1
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// chunkBox returns the bounding cube (center, half-width) of a body subset.
+func chunkBox(bodies []int, pos [][3]float64) (c [3]float64, half float64) {
+	lo := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for _, bi := range bodies {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], pos[bi][d])
+			hi[d] = math.Max(hi[d], pos[bi][d])
+		}
+	}
+	for d := 0; d < 3; d++ {
+		c[d] = (lo[d] + hi[d]) / 2
+		half = math.Max(half, (hi[d]-lo[d])/2)
+	}
+	return c, half + 1e-6
+}
+
+// BarnesHut runs the benchmark on h.
+func BarnesHut(h *Harness, cfg BarnesHutConfig) Result {
+	n := cfg.Bodies
+	pos := make([][3]float64, n)
+	vel := make([][3]float64, n)
+	mass := make([]float64, n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			pos[i][d] = rng.Float64()*2 - 1
+		}
+		mass[i] = 0.5 + rng.Float64()
+	}
+	// Spatial partition: contiguous chunks of the Morton order. Positions
+	// drift negligibly over the simulated steps, so the order is computed
+	// once.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return mortonKey(pos[order[a]]) < mortonKey(pos[order[b]])
+	})
+	acc := make([][3]float64, n)
+	roots := make([]alloc.Ptr, cfg.Threads)
+	barrier := h.NewBarrier(cfg.Threads)
+	opsPer := make([]int64, cfg.Threads)
+	// Costzones (as in SPLASH-2 barnes): weights[i] is body order[i]'s
+	// traversal cost from the previous step; each step's chunks split the
+	// Morton order into equal-weight zones. Written by each body's owner
+	// during the force phase, read by everyone after the barrier.
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	// costzone returns thread id's half-open weight-balanced range of
+	// positions in the Morton order. Every thread computes identical
+	// boundaries from the shared weights (deterministic, no coordination).
+	costzone := func(id int) (lo, hi int) {
+		var total int64
+		for _, w := range weights {
+			total += w
+		}
+		bound := func(k int) int {
+			// First position where the weight prefix reaches k/threads
+			// of the total.
+			target := total * int64(k) / int64(cfg.Threads)
+			var run int64
+			for i := 0; i < n; i++ {
+				if run >= target {
+					return i
+				}
+				run += weights[i]
+			}
+			return n
+		}
+		return bound(id), bound(id + 1)
+	}
+
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		bt := &bhTree{a: h.Allocator(), t: t, e: e, h: h}
+		for step := 0; step < cfg.Steps; step++ {
+			zlo, zhi := costzone(id)
+			mine := order[zlo:zhi]
+			// Build phase: each thread's partial tree over its
+			// spatially compact body chunk (empty zones build nothing).
+			var root alloc.Ptr
+			if len(mine) > 0 {
+				c, half := chunkBox(mine, pos)
+				root = bt.newNode(c[0], c[1], c[2], half)
+				for _, bi := range mine {
+					bt.insert(root, bi, pos)
+				}
+				bt.summarize(root, pos, mass)
+			}
+			roots[id] = root
+			barrier.Wait(e)
+
+			// Force phase: every body against every partial tree;
+			// distant compact trees prune at their roots. Per-body
+			// visit counts become next step's costzone weights.
+			for oi, bi := range mine {
+				before := bt.visits
+				var a3 [3]float64
+				for _, r := range roots {
+					if r.IsNil() {
+						continue
+					}
+					bt.force(r, bi, pos, cfg.Theta, &a3)
+				}
+				acc[bi] = a3
+				weights[zlo+oi] = bt.visits - before + 1
+			}
+			barrier.Wait(e)
+
+			// Integrate and tear down.
+			for _, bi := range mine {
+				for d := 0; d < 3; d++ {
+					vel[bi][d] += acc[bi][d] * cfg.DT
+					pos[bi][d] += vel[bi][d] * cfg.DT
+				}
+			}
+			if !root.IsNil() {
+				bt.freeTree(root)
+			}
+			barrier.Wait(e)
+		}
+		opsPer[id] = bt.allocs
+	})
+	var ops int64
+	for _, o := range opsPer {
+		ops += o
+	}
+	return h.Result(cfg.Threads, ops)
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/simproc"
+)
+
+// TestBarnesHutApproximatesBruteForce builds one thread's octree through
+// the allocator and compares tree-computed accelerations against the exact
+// O(n^2) sum: with a modest opening angle they must agree to a few percent
+// for the large majority of bodies.
+func TestBarnesHutApproximatesBruteForce(t *testing.T) {
+	const n = 300
+	const theta = 0.4
+	rng := rand.New(rand.NewSource(5))
+	pos := make([][3]float64, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		for d := 0; d < 3; d++ {
+			pos[i][d] = rng.Float64()*2 - 1
+		}
+		mass[i] = 0.5 + rng.Float64()
+	}
+
+	h := NewSim("hoard", 1, simproc.DefaultCosts)
+	var acc [][3]float64
+	h.Par(1, func(id int, e env.Env, th *alloc.Thread) {
+		bt := &bhTree{a: h.Allocator(), t: th, e: e, h: h}
+		root := bt.newNode(0, 0, 0, 2)
+		for bi := 0; bi < n; bi++ {
+			bt.insert(root, bi, pos)
+		}
+		bt.summarize(root, pos, mass)
+		acc = make([][3]float64, n)
+		for bi := 0; bi < n; bi++ {
+			var a3 [3]float64
+			bt.force(root, bi, pos, theta, &a3)
+			acc[bi] = a3
+		}
+		bt.freeTree(root)
+	})
+
+	// Exact pairwise sum with the same softening.
+	exact := make([][3]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := pos[j][0] - pos[i][0]
+			dy := pos[j][1] - pos[i][1]
+			dz := pos[j][2] - pos[i][2]
+			d2 := dx*dx + dy*dy + dz*dz + 1e-6
+			inv := 1 / (d2 * math.Sqrt(d2))
+			exact[i][0] += mass[j] * dx * inv
+			exact[i][1] += mass[j] * dy * inv
+			exact[i][2] += mass[j] * dz * inv
+		}
+	}
+
+	bad := 0
+	for i := 0; i < n; i++ {
+		var diff2, norm2 float64
+		for d := 0; d < 3; d++ {
+			diff := acc[i][d] - exact[i][d]
+			diff2 += diff * diff
+			norm2 += exact[i][d] * exact[i][d]
+		}
+		if norm2 == 0 {
+			continue
+		}
+		if math.Sqrt(diff2/norm2) > 0.10 {
+			bad++
+		}
+	}
+	if bad > n/20 {
+		t.Fatalf("%d/%d bodies with >10%% force error at theta=%v", bad, n, theta)
+	}
+}
+
+// TestBarnesHutTreeCountsBodies checks every body lands in the tree exactly
+// once (subtree counts at the root equal the body count).
+func TestBarnesHutTreeCountsBodies(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(8))
+	pos := make([][3]float64, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		for d := 0; d < 3; d++ {
+			pos[i][d] = rng.Float64()*2 - 1
+		}
+		mass[i] = 1
+	}
+	h := NewSim("hoard", 1, simproc.DefaultCosts)
+	h.Par(1, func(id int, e env.Env, th *alloc.Thread) {
+		a := h.Allocator()
+		bt := &bhTree{a: a, t: th, e: e, h: h}
+		root := bt.newNode(0, 0, 0, 2)
+		for bi := 0; bi < n; bi++ {
+			bt.insert(root, bi, pos)
+		}
+		b := a.Bytes(root, nodeSize)
+		if got := i64get(b, offCount); got != n {
+			t.Errorf("root count = %d, want %d", got, n)
+		}
+		m, _, _, _ := bt.summarize(root, pos, mass)
+		if math.Abs(m-float64(n)) > 1e-9 {
+			t.Errorf("root mass = %v, want %d", m, n)
+		}
+		bt.freeTree(root)
+	})
+	if got := h.Allocator().Stats().LiveBytes; got != 0 {
+		t.Fatalf("tree leaked %d bytes", got)
+	}
+}
+
+// TestMortonOrderIsSpatial checks the space-filling order: consecutive
+// bodies in Morton order must be far closer together on average than random
+// pairs.
+func TestMortonOrderIsSpatial(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(3))
+	pos := make([][3]float64, n)
+	for i := range pos {
+		for d := 0; d < 3; d++ {
+			pos[i][d] = rng.Float64()*2 - 1
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	dist := func(a, b int) float64 {
+		var s float64
+		for d := 0; d < 3; d++ {
+			diff := pos[a][d] - pos[b][d]
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+	var randomAvg float64
+	for i := 0; i+1 < n; i++ {
+		randomAvg += dist(order[i], order[i+1])
+	}
+	randomAvg /= float64(n - 1)
+
+	sortByMorton := order
+	sortSliceByKey(sortByMorton, pos)
+	var mortonAvg float64
+	for i := 0; i+1 < n; i++ {
+		mortonAvg += dist(sortByMorton[i], sortByMorton[i+1])
+	}
+	mortonAvg /= float64(n - 1)
+	if mortonAvg > randomAvg/3 {
+		t.Fatalf("Morton neighbors avg distance %.3f vs random %.3f; ordering not spatial", mortonAvg, randomAvg)
+	}
+}
+
+// sortSliceByKey sorts indices by mortonKey (test helper mirroring the
+// production sort).
+func sortSliceByKey(order []int, pos [][3]float64) {
+	keys := make([]uint64, len(pos))
+	for i := range pos {
+		keys[i] = mortonKey(pos[i])
+	}
+	// insertion sort is fine at test sizes and avoids importing sort here
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && keys[order[j]] < keys[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+func TestChunkBox(t *testing.T) {
+	pos := [][3]float64{{-1, 0, 0}, {1, 0, 0}, {0, 0.5, -0.5}}
+	c, half := chunkBox([]int{0, 1, 2}, pos)
+	if c[0] != 0 || half < 1 {
+		t.Fatalf("center %v half %v", c, half)
+	}
+	for i := range pos {
+		for d := 0; d < 3; d++ {
+			if pos[i][d] < c[d]-half || pos[i][d] > c[d]+half {
+				t.Fatalf("body %d outside box", i)
+			}
+		}
+	}
+}

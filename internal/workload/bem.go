@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// BEMConfig parameterizes the BEMengine-style benchmark. The paper's
+// BEMengine is a proprietary boundary-element-method solid-modeling engine
+// (Coyote Systems); what matters for the allocator is its phase structure,
+// reproduced here: a mesh-building phase of many small node allocations, a
+// matrix-assembly phase of medium row allocations with per-element work, a
+// solver phase dominated by computation over a few large long-lived
+// buffers, and a teardown phase freeing everything. Phases are separated by
+// barriers, as in the real code's parallel sections.
+type BEMConfig struct {
+	// Threads is the worker count. All totals below are divided evenly
+	// across threads: the engine solves one fixed model with more
+	// processors (strong scaling).
+	Threads int
+	// MeshNodes is the total number of small mesh objects.
+	MeshNodes int
+	// NodeSize is the mesh object size.
+	NodeSize int
+	// Rows is the total number of matrix rows.
+	Rows int
+	// RowSize is the matrix row size in bytes.
+	RowSize int
+	// SolveBuffers and SolveSize shape the large solver temporaries
+	// (total buffers across threads).
+	SolveBuffers, SolveSize int
+	// SolveWork is the computation (abstract units) per solve buffer.
+	SolveWork int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultBEM gives the benchmark its usual shape at simulation-friendly
+// scale.
+func DefaultBEM(threads int) BEMConfig {
+	return BEMConfig{
+		Threads:      threads,
+		MeshNodes:    42000,
+		NodeSize:     48,
+		Rows:         2100,
+		RowSize:      2048,
+		SolveBuffers: 84,
+		SolveSize:    64 * 1024,
+		// The real BEMengine is dominated by its dense solve (O(n^3) on
+		// the assembled system); allocation phases bracket it.
+		SolveWork: 400000,
+		Seed:      1,
+	}
+}
+
+// BEM runs the benchmark on h.
+func BEM(h *Harness, cfg BEMConfig) Result {
+	barrier := h.NewBarrier(cfg.Threads)
+	var ops int64
+	opsPer := make([]int64, cfg.Threads)
+	share := func(total, id int) int {
+		lo := id * total / cfg.Threads
+		hi := (id + 1) * total / cfg.Threads
+		return hi - lo
+	}
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+		var n int64
+
+		// Phase 1: mesh build — many small allocations.
+		nodes := make([]alloc.Ptr, share(cfg.MeshNodes, id))
+		for i := range nodes {
+			sz := cfg.NodeSize + 8*rng.Intn(3) // slight size mix
+			nodes[i] = a.Malloc(t, sz)
+			h.OnAlloc(sz)
+			WriteObj(a, e, nodes[i], cfg.NodeSize)
+			n++
+		}
+		barrier.Wait(e)
+
+		// Phase 2: assembly — medium rows, work per element.
+		rows := make([]alloc.Ptr, share(cfg.Rows, id))
+		for i := range rows {
+			rows[i] = a.Malloc(t, cfg.RowSize)
+			h.OnAlloc(cfg.RowSize)
+			WriteObj(a, e, rows[i], cfg.RowSize)
+			e.Charge(env.OpWork, int64(cfg.RowSize))
+			n++
+		}
+		barrier.Wait(e)
+
+		// Phase 3: solve — few large temporaries, heavy compute.
+		for b := 0; b < share(cfg.SolveBuffers, id); b++ {
+			p := a.Malloc(t, cfg.SolveSize)
+			h.OnAlloc(cfg.SolveSize)
+			WriteObj(a, e, p, 4096) // touch the working prefix
+			e.Charge(env.OpWork, int64(cfg.SolveWork))
+			a.Free(t, p)
+			h.OnFree(cfg.SolveSize)
+			n += 2
+		}
+		barrier.Wait(e)
+
+		// Phase 4: teardown.
+		for _, p := range rows {
+			a.Free(t, p)
+			h.OnFree(cfg.RowSize)
+			n++
+		}
+		for _, p := range nodes {
+			a.Free(t, p)
+			h.OnFree(cfg.NodeSize)
+			n++
+		}
+		opsPer[id] = n
+	})
+	for _, n := range opsPer {
+		ops += n
+	}
+	return h.Result(cfg.Threads, ops)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// FalseShareConfig parameterizes the paper's two false-sharing
+// microbenchmarks, active-false and passive-false. Each thread repeatedly
+// obtains one small object, writes it many times, and frees it; the total
+// cycle count is fixed and divided across threads, so with no
+// allocator-induced false sharing, speedup is linear.
+type FalseShareConfig struct {
+	// Threads is the worker count.
+	Threads int
+	// Iterations is the total alloc/write/free cycles, divided evenly
+	// across threads (strong scaling, as the original cache-thrash and
+	// cache-scratch benchmarks divide their iteration count).
+	Iterations int
+	// ObjSize is the object size (8 bytes in the paper — several objects
+	// fit in one cache line).
+	ObjSize int
+	// Writes is the number of times each object is written before being
+	// freed (the paper uses a large count so coherence dominates).
+	Writes int
+	// SeedObjects is the per-thread count of pre-distributed objects for
+	// passive-false (allocated by thread 0, freed by the others).
+	SeedObjects int
+}
+
+// DefaultFalseShare mirrors the paper's shape at simulation-friendly scale.
+func DefaultFalseShare(threads int) FalseShareConfig {
+	return FalseShareConfig{
+		Threads:     threads,
+		Iterations:  2800,
+		ObjSize:     8,
+		Writes:      500,
+		SeedObjects: 32,
+	}
+}
+
+// ActiveFalse runs the active false-sharing benchmark: threads allocate
+// concurrently, so an allocator that carves one cache line across threads
+// (a serial heap) actively induces false sharing, while Hoard's
+// per-heap superblocks keep each thread's objects on its own lines.
+func ActiveFalse(h *Harness, cfg FalseShareConfig) Result {
+	perThread := cfg.Iterations / cfg.Threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		for it := 0; it < perThread; it++ {
+			p := a.Malloc(t, cfg.ObjSize)
+			h.OnAlloc(cfg.ObjSize)
+			for w := 0; w < cfg.Writes; w++ {
+				WriteObj(a, e, p, cfg.ObjSize)
+			}
+			a.Free(t, p)
+			h.OnFree(cfg.ObjSize)
+		}
+	})
+	ops := int64(cfg.Threads) * int64(perThread) * int64(cfg.Writes)
+	return h.Result(cfg.Threads, ops)
+}
+
+// PassiveFalse runs the passive false-sharing benchmark: thread 0 allocates
+// a batch of adjacent objects and hands them out; the workers free them and
+// then run the write loop. An allocator that lets freed blocks migrate to
+// the freeing thread's heap (pure private heaps, thresholds) re-issues
+// line-mates to different threads — passively inducing false sharing —
+// while Hoard returns frees to the owning superblock.
+func PassiveFalse(h *Harness, cfg FalseShareConfig) Result {
+	perThread := cfg.Iterations / cfg.Threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	shared := make([]alloc.Ptr, cfg.Threads*cfg.SeedObjects)
+	barrier := h.NewBarrier(cfg.Threads)
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		if id == 0 {
+			// The distributor: adjacent allocations, handed round-robin
+			// so neighbors go to different threads.
+			for i := range shared {
+				shared[i] = a.Malloc(t, cfg.ObjSize)
+				h.OnAlloc(cfg.ObjSize)
+			}
+		}
+		barrier.Wait(e)
+		// Everyone frees their handed-down objects; allocators with
+		// thread-local object recycling now hold line-sharing blocks.
+		for i := id; i < len(shared); i += cfg.Threads {
+			a.Free(t, shared[i])
+			h.OnFree(cfg.ObjSize)
+		}
+		barrier.Wait(e)
+		for it := 0; it < perThread; it++ {
+			p := a.Malloc(t, cfg.ObjSize)
+			h.OnAlloc(cfg.ObjSize)
+			for w := 0; w < cfg.Writes; w++ {
+				WriteObj(a, e, p, cfg.ObjSize)
+			}
+			a.Free(t, p)
+			h.OnFree(cfg.ObjSize)
+		}
+	})
+	ops := int64(cfg.Threads) * int64(perThread) * int64(cfg.Writes)
+	return h.Result(cfg.Threads, ops)
+}

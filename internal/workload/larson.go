@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// LarsonConfig parameterizes the Larson benchmark (Larson & Krishnan's
+// server simulation, as used in the paper): worker "sessions" inherit a
+// window of live objects from a predecessor, repeatedly free a random slot
+// and allocate a replacement, then pass the window on. Most frees therefore
+// release memory allocated by a *different* thread — the "bleeding" pattern
+// that breaks pure private heaps and contends ownership-based allocators.
+// The paper reports throughput (operations per second) rather than speedup.
+type LarsonConfig struct {
+	// Threads is the number of concurrent sessions.
+	Threads int
+	// Rounds is how many times windows rotate between threads.
+	Rounds int
+	// OpsPerRound is free/alloc pairs per thread per round.
+	OpsPerRound int
+	// SlotsPerWindow is each window's live-object count.
+	SlotsPerWindow int
+	// MinSize and MaxSize bound object sizes (10..500 in the original).
+	MinSize, MaxSize int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultLarson mirrors the benchmark's shape at simulation-friendly scale.
+func DefaultLarson(threads int) LarsonConfig {
+	return LarsonConfig{
+		Threads:        threads,
+		Rounds:         6,
+		OpsPerRound:    4000,
+		SlotsPerWindow: 1000,
+		MinSize:        10,
+		MaxSize:        500,
+		Seed:           1,
+	}
+}
+
+// Larson runs the benchmark on h.
+func Larson(h *Harness, cfg LarsonConfig) Result {
+	type slot struct {
+		p  alloc.Ptr
+		sz int
+	}
+	windows := make([][]slot, cfg.Threads)
+	for i := range windows {
+		windows[i] = make([]slot, cfg.SlotsPerWindow)
+	}
+	barrier := h.NewBarrier(cfg.Threads)
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+		for r := 0; r < cfg.Rounds; r++ {
+			// Window rotation: this round's window was populated by
+			// the previous round's holder (a different thread).
+			win := windows[(id+r)%cfg.Threads]
+			for op := 0; op < cfg.OpsPerRound; op++ {
+				i := rng.Intn(cfg.SlotsPerWindow)
+				if !win[i].p.IsNil() {
+					a.Free(t, win[i].p) // usually a remote free
+					h.OnFree(win[i].sz)
+				}
+				sz := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+				win[i] = slot{a.Malloc(t, sz), sz}
+				h.OnAlloc(sz)
+				WriteObj(a, e, win[i].p, win[i].sz)
+			}
+			barrier.Wait(e)
+		}
+		// Teardown: final holders clear their windows.
+		win := windows[(id+cfg.Rounds)%cfg.Threads]
+		for i := range win {
+			if !win[i].p.IsNil() {
+				a.Free(t, win[i].p)
+				h.OnFree(win[i].sz)
+				win[i] = slot{}
+			}
+		}
+	})
+	ops := int64(cfg.Threads) * int64(cfg.Rounds) * int64(cfg.OpsPerRound) * 2
+	return h.Result(cfg.Threads, ops)
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// ShbenchConfig parameterizes the shbench benchmark (after MicroQuill's
+// SmartHeap benchmark, as used in the paper): each thread keeps a working
+// set of slots and randomly allocates into empty slots or frees occupied
+// ones, with random sizes — a mix of short- and long-lived objects of many
+// size classes.
+type ShbenchConfig struct {
+	// Threads is the worker count.
+	Threads int
+	// Ops is the total slot operations, divided evenly across threads
+	// (the paper's figures strong-scale: fixed work, more processors).
+	Ops int
+	// Slots bounds each thread's working set.
+	Slots int
+	// MinSize and MaxSize bound the random object sizes (1..1000 in the
+	// benchmark).
+	MinSize, MaxSize int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultShbench mirrors the benchmark's usual parameters at
+// simulation-friendly scale.
+func DefaultShbench(threads int) ShbenchConfig {
+	return ShbenchConfig{
+		Threads: threads,
+		Ops:     280000,
+		Slots:   2500,
+		MinSize: 1,
+		MaxSize: 1000,
+		Seed:    1,
+	}
+}
+
+// Shbench runs the benchmark on h.
+func Shbench(h *Harness, cfg ShbenchConfig) Result {
+	perThread := cfg.Ops / cfg.Threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+		ptrs := make([]alloc.Ptr, cfg.Slots)
+		sizes := make([]int, cfg.Slots)
+		for op := 0; op < perThread; op++ {
+			i := rng.Intn(cfg.Slots)
+			if ptrs[i].IsNil() {
+				sz := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+				ptrs[i] = a.Malloc(t, sz)
+				sizes[i] = sz
+				h.OnAlloc(sz)
+				WriteObj(a, e, ptrs[i], sz)
+			} else {
+				ReadObj(a, e, ptrs[i], sizes[i])
+				a.Free(t, ptrs[i])
+				h.OnFree(sizes[i])
+				ptrs[i] = 0
+			}
+		}
+		for i, p := range ptrs {
+			if !p.IsNil() {
+				a.Free(t, p)
+				h.OnFree(sizes[i])
+			}
+		}
+	})
+	ops := int64(cfg.Threads) * int64(perThread)
+	return h.Result(cfg.Threads, ops)
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// ThreadtestConfig parameterizes the paper's threadtest benchmark: t threads
+// each repeatedly allocate and free their share of N small objects. It
+// stresses raw malloc/free throughput with no cross-thread frees.
+type ThreadtestConfig struct {
+	// Threads is t. Objects are split evenly across threads.
+	Threads int
+	// Iterations is the number of allocate-all/free-all rounds.
+	Iterations int
+	// Objects is N, the total objects per round across all threads
+	// (100,000 in the paper).
+	Objects int
+	// ObjSize is the object size in bytes (8 in the paper).
+	ObjSize int
+	// Work is extra application work (abstract units) per object, to
+	// study allocator-bound versus compute-bound scaling.
+	Work int
+}
+
+// DefaultThreadtest mirrors the paper's configuration, with the round count
+// kept simulation-friendly.
+func DefaultThreadtest(threads int) ThreadtestConfig {
+	return ThreadtestConfig{
+		Threads:    threads,
+		Iterations: 3,
+		Objects:    20000,
+		ObjSize:    8,
+	}
+}
+
+// Threadtest runs the benchmark on h.
+func Threadtest(h *Harness, cfg ThreadtestConfig) Result {
+	perThread := cfg.Objects / cfg.Threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	h.Par(cfg.Threads, func(id int, e env.Env, t *alloc.Thread) {
+		a := h.Allocator()
+		ptrs := make([]alloc.Ptr, perThread)
+		for it := 0; it < cfg.Iterations; it++ {
+			for i := range ptrs {
+				ptrs[i] = a.Malloc(t, cfg.ObjSize)
+				h.OnAlloc(cfg.ObjSize)
+				WriteObj(a, e, ptrs[i], cfg.ObjSize)
+				if cfg.Work > 0 {
+					e.Charge(env.OpWork, int64(cfg.Work))
+				}
+			}
+			for i := range ptrs {
+				a.Free(t, ptrs[i])
+				h.OnFree(cfg.ObjSize)
+			}
+		}
+	})
+	ops := int64(cfg.Threads) * int64(perThread) * int64(cfg.Iterations) * 2
+	return h.Result(cfg.Threads, ops)
+}

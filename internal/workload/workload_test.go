@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+
+	"hoardgo/internal/allocators"
+	"hoardgo/internal/simproc"
+)
+
+// tiny configs keep the full matrix fast.
+func tinyThreadtest(th int) ThreadtestConfig {
+	return ThreadtestConfig{Threads: th, Iterations: 2, Objects: 800, ObjSize: 8}
+}
+
+func tinyShbench(th int) ShbenchConfig {
+	return ShbenchConfig{Threads: th, Ops: 3200, Slots: 64, MinSize: 1, MaxSize: 1000, Seed: 1}
+}
+
+func tinyLarson(th int) LarsonConfig {
+	return LarsonConfig{Threads: th, Rounds: 3, OpsPerRound: 300, SlotsPerWindow: 40, MinSize: 10, MaxSize: 500, Seed: 1}
+}
+
+func tinyFalse(th int) FalseShareConfig {
+	return FalseShareConfig{Threads: th, Iterations: 80, ObjSize: 8, Writes: 30, SeedObjects: 16}
+}
+
+func tinyBEM(th int) BEMConfig {
+	return BEMConfig{Threads: th, MeshNodes: 800, NodeSize: 48, Rows: 80, RowSize: 2048,
+		SolveBuffers: 8, SolveSize: 16384, SolveWork: 5000, Seed: 1}
+}
+
+func tinyBH(th int) BarnesHutConfig {
+	return BarnesHutConfig{Threads: th, Bodies: 120, Steps: 2, Theta: 0.6, DT: 1e-3, Seed: 1}
+}
+
+type runner struct {
+	name string
+	run  func(h *Harness, threads int) Result
+}
+
+var runners = []runner{
+	{"threadtest", func(h *Harness, th int) Result { return Threadtest(h, tinyThreadtest(th)) }},
+	{"shbench", func(h *Harness, th int) Result { return Shbench(h, tinyShbench(th)) }},
+	{"larson", func(h *Harness, th int) Result { return Larson(h, tinyLarson(th)) }},
+	{"active-false", func(h *Harness, th int) Result { return ActiveFalse(h, tinyFalse(th)) }},
+	{"passive-false", func(h *Harness, th int) Result { return PassiveFalse(h, tinyFalse(th)) }},
+	{"bem", func(h *Harness, th int) Result { return BEM(h, tinyBEM(th)) }},
+	{"barneshut", func(h *Harness, th int) Result { return BarnesHut(h, tinyBH(th)) }},
+	{"prodcons", func(h *Harness, th int) Result {
+		r, _ := ProdCons(h, ProdConsConfig{Threads: th, Rounds: 5, Batch: 100, ObjSize: 64})
+		return r
+	}},
+	{"phaseshift", func(h *Harness, th int) Result {
+		r, _ := PhaseShift(h, PhaseShiftConfig{Threads: th, Phases: 2 * th, LiveObjects: 200, ObjSize: 64})
+		return r
+	}},
+}
+
+// TestAllWorkloadsAllAllocatorsSim runs the full benchmark x allocator
+// matrix on the simulator and validates the common postconditions: no
+// leaks, intact allocator structures, sensible counters.
+func TestAllWorkloadsAllAllocatorsSim(t *testing.T) {
+	for _, r := range runners {
+		for _, name := range allocators.Names() {
+			t.Run(r.name+"/"+name, func(t *testing.T) {
+				h := NewSim(name, 4, simproc.DefaultCosts)
+				res := r.run(h, 4)
+				if res.ElapsedNS <= 0 {
+					t.Fatalf("ElapsedNS = %d", res.ElapsedNS)
+				}
+				if res.Ops <= 0 {
+					t.Fatalf("Ops = %d", res.Ops)
+				}
+				if res.MaxLive <= 0 {
+					t.Fatalf("MaxLive = %d", res.MaxLive)
+				}
+				if res.Alloc.LiveBytes != 0 {
+					t.Fatalf("leak: LiveBytes = %d", res.Alloc.LiveBytes)
+				}
+				if res.VM.PeakCommitted < res.MaxLive {
+					t.Fatalf("peak committed %d < max live %d", res.VM.PeakCommitted, res.MaxLive)
+				}
+				if err := h.Allocator().CheckIntegrity(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAllWorkloadsReal runs the matrix with real goroutines (race-detector
+// coverage of the benchmark bodies themselves).
+func TestAllWorkloadsReal(t *testing.T) {
+	for _, r := range runners {
+		for _, name := range allocators.Names() {
+			t.Run(r.name+"/"+name, func(t *testing.T) {
+				h := NewReal(name, 4)
+				res := r.run(h, 4)
+				if res.Alloc.LiveBytes != 0 {
+					t.Fatalf("leak: LiveBytes = %d", res.Alloc.LiveBytes)
+				}
+				if err := h.Allocator().CheckIntegrity(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSimDeterminism re-runs a contended workload and demands bit-identical
+// virtual times and cache statistics.
+func TestSimDeterminism(t *testing.T) {
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			run := func() Result {
+				h := NewSim("hoard", 4, simproc.DefaultCosts)
+				return r.run(h, 4)
+			}
+			a, b := run(), run()
+			if a.ElapsedNS != b.ElapsedNS {
+				t.Fatalf("nondeterministic time: %d vs %d", a.ElapsedNS, b.ElapsedNS)
+			}
+			if a.Cache != b.Cache {
+				t.Fatalf("nondeterministic cache stats: %+v vs %+v", a.Cache, b.Cache)
+			}
+			if a.Ops != b.Ops {
+				t.Fatalf("nondeterministic ops: %d vs %d", a.Ops, b.Ops)
+			}
+		})
+	}
+}
+
+// TestProdConsBlowupShapes is the paper's §2.2 taxonomy in one test:
+// committed memory across rounds must grow for pure private heaps and stay
+// bounded for Hoard and ownership.
+func TestProdConsBlowupShapes(t *testing.T) {
+	cfg := ProdConsConfig{Threads: 4, Rounds: 30, Batch: 400, ObjSize: 64}
+	series := func(name string) []int64 {
+		h := NewSim(name, 4, simproc.DefaultCosts)
+		_, s := ProdCons(h, cfg)
+		return s
+	}
+	priv := series("private")
+	if priv[len(priv)-1] < 3*priv[2] {
+		t.Errorf("private heaps did not blow up: %v", priv)
+	}
+	for _, name := range []string{"hoard", "ownership", "threshold"} {
+		s := series(name)
+		if s[len(s)-1] > 2*s[2] {
+			t.Errorf("%s memory grew across rounds: first %d last %d", name, s[2], s[len(s)-1])
+		}
+	}
+}
+
+// TestPhaseShiftBlowupShapes pins the paper's O(P) result: ownership-based
+// allocators accumulate a live set per thread under phase-shifted
+// allocation; Hoard's global heap recycles across phases.
+func TestPhaseShiftBlowupShapes(t *testing.T) {
+	const threads = 6
+	cfg := PhaseShiftConfig{Threads: threads, Phases: 2 * threads, LiveObjects: 400, ObjSize: 64}
+	ideal := int64(cfg.LiveObjects * cfg.ObjSize)
+	final := func(name string) int64 {
+		h := NewSim(name, threads, simproc.DefaultCosts)
+		_, s := PhaseShift(h, cfg)
+		return s[len(s)-1]
+	}
+	if got := final("ownership"); got < int64(threads)*ideal/2 {
+		t.Errorf("ownership committed %d, want ~%d (P-fold)", got, int64(threads)*ideal)
+	}
+	if got := final("hoard"); got > 3*ideal {
+		t.Errorf("hoard committed %d, want O(1) x %d", got, ideal)
+	}
+}
+
+// TestThreadtestScalesOnSim sanity-checks the headline result at tiny
+// scale: Hoard at 4 CPUs must beat Hoard at 1 CPU by a wide margin, and
+// must beat serial at 4 CPUs.
+func TestThreadtestScalesOnSim(t *testing.T) {
+	elapsed := func(name string, procs int) int64 {
+		h := NewSim(name, procs, simproc.DefaultCosts)
+		cfg := tinyThreadtest(procs)
+		// Paper scale: several superblocks per thread. (With barely one
+		// superblock per thread the emptiness invariant evicts each
+		// thread's only superblock mid-free and the benchmark
+		// degenerates to pounding the global heap.)
+		cfg.Objects = 16000
+		return Threadtest(h, cfg).ElapsedNS
+	}
+	h1 := elapsed("hoard", 1)
+	h4 := elapsed("hoard", 4)
+	s4 := elapsed("serial", 4)
+	if speedup := float64(h1) / float64(h4); speedup < 2.0 {
+		t.Errorf("hoard 4-CPU speedup %.2f, want >= 2", speedup)
+	}
+	if h4 >= s4 {
+		t.Errorf("hoard (%d) not faster than serial (%d) at 4 CPUs", h4, s4)
+	}
+}
+
+// TestFalseSharingShapes: on active-false, Hoard must dramatically
+// outperform the serial allocator at 4 CPUs because serial hands one cache
+// line to several threads.
+func TestFalseSharingShapes(t *testing.T) {
+	elapsed := func(name string) (int64, int64) {
+		h := NewSim(name, 4, simproc.DefaultCosts)
+		res := ActiveFalse(h, tinyFalse(4))
+		return res.ElapsedNS, res.Cache.RemoteTransfers
+	}
+	hoardNS, hoardRT := elapsed("hoard")
+	serialNS, serialRT := elapsed("serial")
+	if serialNS < 2*hoardNS {
+		t.Errorf("active-false: serial (%d) not much slower than hoard (%d)", serialNS, hoardNS)
+	}
+	if serialRT < 10*hoardRT {
+		t.Errorf("active-false: serial transfers %d vs hoard %d; expected >=10x", serialRT, hoardRT)
+	}
+}
+
+// TestBarnesHutPhysicsSane checks the n-body code conserves sanity: the
+// simulation must produce finite positions and nonzero movement, and the
+// result must not depend on the allocator.
+func TestBarnesHutPhysicsSane(t *testing.T) {
+	runOps := func(name string) int64 {
+		h := NewSim(name, 2, simproc.DefaultCosts)
+		return BarnesHut(h, tinyBH(2)).Ops
+	}
+	a, b := runOps("hoard"), runOps("serial")
+	if a != b {
+		t.Fatalf("node alloc count depends on allocator: %d vs %d", a, b)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Ops: 1000, ElapsedNS: 2e9, MaxLive: 100}
+	r.VM.PeakCommitted = 150
+	if got := r.Throughput(); got != 500 {
+		t.Fatalf("Throughput = %v, want 500", got)
+	}
+	if got := r.Fragmentation(); got != 1.5 {
+		t.Fatalf("Fragmentation = %v, want 1.5", got)
+	}
+	var zero Result
+	if zero.Throughput() != 0 || zero.Fragmentation() != 0 {
+		t.Fatal("zero-value helpers must not divide by zero")
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/simproc"
+)
+
+// TestLarsonBleeds verifies the benchmark's defining property: most frees
+// release memory allocated by a different thread (Hoard's RemoteFrees
+// counter observes exactly that).
+func TestLarsonBleeds(t *testing.T) {
+	h := NewSim("hoard", 4, simproc.DefaultCosts)
+	cfg := LarsonConfig{Threads: 4, Rounds: 4, OpsPerRound: 800, SlotsPerWindow: 400, MinSize: 10, MaxSize: 500, Seed: 1}
+	res := Larson(h, cfg)
+	// After round 1, windows rotate: roughly (Rounds-1)/Rounds of frees
+	// hit blocks the previous holder allocated.
+	if res.Alloc.RemoteFrees < res.Alloc.Frees/4 {
+		t.Fatalf("only %d of %d frees were remote; larson must bleed", res.Alloc.RemoteFrees, res.Alloc.Frees)
+	}
+}
+
+// TestLarsonThroughputMeaningful checks ops accounting feeds throughput.
+func TestLarsonThroughputMeaningful(t *testing.T) {
+	h := NewSim("hoard", 2, simproc.DefaultCosts)
+	cfg := LarsonConfig{Threads: 2, Rounds: 2, OpsPerRound: 500, SlotsPerWindow: 100, MinSize: 10, MaxSize: 500, Seed: 1}
+	res := Larson(h, cfg)
+	if want := int64(2 * 2 * 500 * 2); res.Ops != want {
+		t.Fatalf("Ops = %d, want %d", res.Ops, want)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+// TestBEMPhasesBalanceAcrossThreads: totals divide across threads with no
+// remainder lost.
+func TestBEMPhasesBalanceAcrossThreads(t *testing.T) {
+	for _, threads := range []int{1, 3, 7} {
+		h := NewSim("hoard", threads, simproc.DefaultCosts)
+		cfg := BEMConfig{Threads: threads, MeshNodes: 1000, NodeSize: 48, Rows: 100, RowSize: 2048,
+			SolveBuffers: 10, SolveSize: 16384, SolveWork: 1000, Seed: 1}
+		res := BEM(h, cfg)
+		// mesh allocs+frees + rows allocs+frees + solve allocs+frees.
+		want := int64(2 * (1000 + 100 + 10))
+		if res.Ops != want {
+			t.Fatalf("threads=%d: Ops = %d, want %d", threads, res.Ops, want)
+		}
+		if res.Alloc.LiveBytes != 0 {
+			t.Fatalf("threads=%d: leak %d", threads, res.Alloc.LiveBytes)
+		}
+	}
+}
+
+// TestThreadtestObjectsDivide: N objects divide across t threads; MaxLive
+// reflects one round's full allocation.
+func TestThreadtestObjectsDivide(t *testing.T) {
+	h := NewSim("hoard", 4, simproc.DefaultCosts)
+	cfg := ThreadtestConfig{Threads: 4, Iterations: 1, Objects: 4000, ObjSize: 8}
+	res := Threadtest(h, cfg)
+	// Threads are unsynchronized, so the global peak can fall slightly
+	// short of the sum of per-thread peaks.
+	want := int64(4000 * 8)
+	if res.MaxLive > want || res.MaxLive < want*9/10 {
+		t.Fatalf("MaxLive = %d, want ~%d", res.MaxLive, want)
+	}
+}
+
+// TestPassiveFalseSeedsCrossThreads: with one thread there is nothing to
+// hand off, and the benchmark still terminates cleanly.
+func TestPassiveFalseSingleThread(t *testing.T) {
+	h := NewSim("hoard", 1, simproc.DefaultCosts)
+	res := PassiveFalse(h, FalseShareConfig{Threads: 1, Iterations: 10, ObjSize: 8, Writes: 5, SeedObjects: 8})
+	if res.Alloc.LiveBytes != 0 {
+		t.Fatalf("leak: %d", res.Alloc.LiveBytes)
+	}
+}
+
+// TestShbenchSizesSpanClasses: the benchmark must touch many size classes
+// (that's its role in the suite).
+func TestShbenchSizesSpanClasses(t *testing.T) {
+	h := NewSim("serial", 2, simproc.DefaultCosts)
+	res := Shbench(h, ShbenchConfig{Threads: 2, Ops: 4000, Slots: 200, MinSize: 1, MaxSize: 1000, Seed: 1})
+	// With sizes 1..1000 uniformly and thousands of ops, the peak live
+	// usable bytes must exceed max live requested (class rounding).
+	if res.Alloc.PeakLiveBytes <= res.MaxLive {
+		t.Fatalf("usable peak %d <= requested peak %d; class rounding missing?", res.Alloc.PeakLiveBytes, res.MaxLive)
+	}
+}
+
+// TestHarnessSingleUse: Par twice must panic.
+func TestHarnessSingleUse(t *testing.T) {
+	h := NewSim("hoard", 1, simproc.DefaultCosts)
+	h.Par(1, func(int, env.Env, *alloc.Thread) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Par did not panic")
+		}
+	}()
+	h.Par(1, func(int, env.Env, *alloc.Thread) {})
+}
