@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+# check is the tier-1 gate: vet, build, and the full suite under the race
+# detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Figure benchmarks are full deterministic simulations; run each once.
+bench:
+	$(GO) test -bench=. -benchtime=1x .

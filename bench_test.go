@@ -20,7 +20,10 @@ import (
 	"sync"
 	"testing"
 
+	"hoardgo/internal/alloc"
 	"hoardgo/internal/allocators"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
 	"hoardgo/internal/experiments"
 	"hoardgo/internal/workload"
 )
@@ -210,6 +213,47 @@ func BenchmarkProducerConsumerReal(b *testing.B) {
 			}
 			close(ch)
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkProducerConsumerContended is the contended cross-thread-free
+// pattern instrumented for lock traffic: one goroutine allocates, N others
+// free, and every heap-lock acquisition inside Hoard is counted. Before the
+// lock-free remote-free path, each of the b.N remote frees cost at least one
+// owning-heap lock acquisition (locks/op >= 2 counting the malloc); with it,
+// remote frees CAS-push and locks/op collapses toward the producer's 1.
+// fastfrac is the fraction of remote frees that avoided a lock entirely.
+func BenchmarkProducerConsumerContended(b *testing.B) {
+	for _, consumers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			clf := &env.CountingLockFactory{Inner: env.RealLockFactory{}}
+			h := core.New(core.Config{Heaps: 8}, clf)
+			ch := make(chan alloc.Ptr, 4096)
+			var wg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					th := h.NewThread(&env.RealEnv{ID: 1 + c})
+					for p := range ch {
+						h.Free(th, p)
+					}
+				}(c)
+			}
+			th := h.NewThread(&env.RealEnv{ID: 0})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch <- h.Malloc(th, 64)
+			}
+			close(ch)
+			wg.Wait()
+			b.StopTimer()
+			st := h.Stats()
+			b.ReportMetric(float64(clf.Acquires())/float64(b.N), "locks/op")
+			if st.RemoteFrees > 0 {
+				b.ReportMetric(float64(st.RemoteFastFrees)/float64(st.RemoteFrees), "fastfrac")
+			}
 		})
 	}
 }

@@ -286,6 +286,12 @@ type Stats struct {
 	SuperblockMoves int64
 	// RemoteFrees counts frees that crossed heaps.
 	RemoteFrees int64
+	// RemoteFastFrees counts cross-heap frees that took Hoard's lock-free
+	// remote-stack push instead of acquiring a heap lock.
+	RemoteFastFrees int64
+	// RemoteDrains counts batch reconciliations of remote-free stacks
+	// that recovered at least one block.
+	RemoteDrains int64
 }
 
 // Stats returns a snapshot of the allocator's counters.
@@ -301,6 +307,8 @@ func (a *Allocator) Stats() Stats {
 		PeakFootprintBytes: sp.PeakCommitted,
 		SuperblockMoves:    st.SuperblockMoves,
 		RemoteFrees:        st.RemoteFrees,
+		RemoteFastFrees:    st.RemoteFastFrees,
+		RemoteDrains:       st.RemoteDrains,
 	}
 }
 

@@ -110,6 +110,13 @@ type Stats struct {
 	// RemoteFrees counts frees performed by a thread other than the one
 	// whose heap/arena owns the block (where the concept applies).
 	RemoteFrees int64
+	// RemoteFastFrees counts the subset of RemoteFrees that took the
+	// lock-free remote-stack push instead of acquiring a heap lock
+	// (Hoard only).
+	RemoteFastFrees int64
+	// RemoteDrains counts batch reconciliations of remote-free stacks
+	// that recovered at least one block (Hoard only).
+	RemoteDrains int64
 	// MovedLiveBlocks sums the still-allocated blocks carried by
 	// superblocks at the moment they were evicted to the global heap
 	// (Hoard only) — each becomes a future remote free.
@@ -161,3 +168,85 @@ func (a *Accounting) Live() int64 { return a.live.Load() }
 
 // ResetPeak lowers the live-bytes high-water mark to the current value.
 func (a *Accounting) ResetPeak() { a.peak.Store(a.live.Load()) }
+
+// ShardedAccounting is Accounting with its hot counters split across
+// cache-line-padded shards so threads on different heaps stop bouncing the
+// same cache lines on every malloc and free. Callers pick a shard per
+// operation (Hoard uses the heap index); Fill and Live aggregate.
+//
+// PeakLiveBytes becomes an upper bound: each shard tracks its own
+// high-water mark and Fill sums them, and per-shard peaks need not occur
+// simultaneously. LiveBytes, Mallocs, and Frees remain exact at quiescence.
+type ShardedAccounting struct {
+	shards []acctShard
+}
+
+type acctShard struct {
+	mallocs atomic.Int64
+	frees   atomic.Int64
+	live    atomic.Int64
+	peak    atomic.Int64
+	large   atomic.Int64
+	_       [88]byte // pad to 128 bytes: separate cache-line pair per shard
+}
+
+// NewSharded creates accounting with n shards (at least 1).
+func NewSharded(n int) *ShardedAccounting {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedAccounting{shards: make([]acctShard, n)}
+}
+
+func (a *ShardedAccounting) shard(i int) *acctShard {
+	if i < 0 {
+		i = -i
+	}
+	return &a.shards[i%len(a.shards)]
+}
+
+// OnMalloc records an allocation of usable size n against one shard.
+func (a *ShardedAccounting) OnMalloc(shard, n int) {
+	s := a.shard(shard)
+	s.mallocs.Add(1)
+	v := s.live.Add(int64(n))
+	for {
+		p := s.peak.Load()
+		if v <= p || s.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// OnFree records a deallocation of usable size n against one shard. The
+// shard need not match the one that recorded the malloc; per-shard live
+// gauges can go negative, only the sum is meaningful.
+func (a *ShardedAccounting) OnFree(shard, n int) {
+	s := a.shard(shard)
+	s.frees.Add(1)
+	s.live.Add(int64(-n))
+}
+
+// OnLarge records that an allocation took the large-object path.
+func (a *ShardedAccounting) OnLarge(shard int) { a.shard(shard).large.Add(1) }
+
+// Fill populates the common fields of st by summing all shards.
+func (a *ShardedAccounting) Fill(st *Stats) {
+	for i := range a.shards {
+		s := &a.shards[i]
+		st.Mallocs += s.mallocs.Load()
+		st.Frees += s.frees.Load()
+		st.LiveBytes += s.live.Load()
+		st.PeakLiveBytes += s.peak.Load()
+		st.LargeMallocs += s.large.Load()
+	}
+}
+
+// Live returns the current live usable bytes summed across shards.
+func (a *ShardedAccounting) Live() int64 {
+	var v int64
+	for i := range a.shards {
+		v += a.shards[i].live.Load()
+	}
+	return v
+}

@@ -48,8 +48,8 @@ func (h *Hoard) MallocAligned(t *alloc.Thread, size, align int) alloc.Ptr {
 	lo.size = sp.Len
 	t.Env.Charge(env.OpOSAlloc, 1)
 	h.osReserves.Add(1)
-	h.acct.OnLarge()
-	h.acct.OnMalloc(sp.Len)
+	h.acct.OnLarge(0)
+	h.acct.OnMalloc(0, sp.Len)
 	return alloc.Ptr(sp.Base)
 }
 
@@ -74,8 +74,8 @@ func (h *Hoard) Describe(w io.Writer, e env.Env) {
 	st := h.Stats()
 	fmt.Fprintf(w, "hoard: S=%d f=%v K=%d heaps=%d classes=%d\n",
 		h.cfg.SuperblockSize, h.cfg.EmptyFraction, h.cfg.K, h.cfg.Heaps, h.classes.NumClasses())
-	fmt.Fprintf(w, "ops: %d mallocs (%d large), %d frees, %d remote frees\n",
-		st.Mallocs, st.LargeMallocs, st.Frees, st.RemoteFrees)
+	fmt.Fprintf(w, "ops: %d mallocs (%d large), %d frees, %d remote frees (%d lock-free, %d drains)\n",
+		st.Mallocs, st.LargeMallocs, st.Frees, st.RemoteFrees, st.RemoteFastFrees, st.RemoteDrains)
 	fmt.Fprintf(w, "superblocks: %d moved to global (%d live blocks carried), %d reused from global, %d from OS\n",
 		st.SuperblockMoves, st.MovedLiveBlocks, st.GlobalHeapHits, st.OSReserves)
 	fmt.Fprintf(w, "memory: %d B live (peak %d), %d B committed (peak %d)\n",

@@ -134,12 +134,20 @@ type Hoard struct {
 	// heaps[0] is the global heap; heaps[1..cfg.Heaps] are per-processor.
 	heaps []*heap.Heap
 
-	acct       alloc.Accounting
-	sbMoves    atomic.Int64
-	movedLive  atomic.Int64
-	globalHits atomic.Int64
-	osReserves atomic.Int64
-	remote     atomic.Int64
+	// acct is sharded by heap index (shard 0 doubles as the large-object
+	// shard) so concurrent threads don't bounce one set of counter cache
+	// lines on every operation. Frees are recorded against the owning
+	// heap's shard — the shard that recorded the malloc except for blocks
+	// carried along by an evicted superblock — keeping per-shard peaks
+	// tight.
+	acct         *alloc.ShardedAccounting
+	sbMoves      atomic.Int64
+	movedLive    atomic.Int64
+	globalHits   atomic.Int64
+	osReserves   atomic.Int64
+	remote       atomic.Int64
+	remoteFast   atomic.Int64
+	remoteDrains atomic.Int64
 }
 
 // threadState is the per-thread state: the index of the heap the thread
@@ -159,6 +167,7 @@ func New(cfg Config, lf env.LockFactory) *Hoard {
 		cfg:     cfg,
 		space:   vm.New(),
 		classes: sizeclass.New(cfg.SizeClassBase, sizeclass.Quantum, cfg.SuperblockSize/2),
+		acct:    alloc.NewSharded(cfg.Heaps + 1),
 	}
 	h.heaps = make([]*heap.Heap, cfg.Heaps+1)
 	for i := range h.heaps {
@@ -212,6 +221,14 @@ func (h *Hoard) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 
 	hp.Lock.Lock(e)
 	p, ok := hp.AllocBlock(e, class)
+	if !ok && hp.PendingHintBytes() > 0 {
+		// Remote frees parked on our own superblocks may satisfy the
+		// malloc without visiting the global heap or the OS.
+		if hp.DrainAll(e) > 0 {
+			h.remoteDrains.Add(1)
+			p, ok = hp.AllocBlock(e, class)
+		}
+	}
 	if !ok {
 		// Slow path: pull a superblock from the global heap, or the OS.
 		e.Charge(env.OpMallocSlow, 1)
@@ -242,7 +259,7 @@ func (h *Hoard) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 	}
 	hp.Lock.Unlock(e)
 	e.Charge(env.OpMallocFast, 1)
-	h.acct.OnMalloc(blockSize)
+	h.acct.OnMalloc(hp.ID, blockSize)
 	return p
 }
 
@@ -253,8 +270,8 @@ func (h *Hoard) mallocLarge(e env.Env, size int) alloc.Ptr {
 	e.Charge(env.OpOSAlloc, 1)
 	e.Charge(env.OpMallocSlow, 1)
 	h.osReserves.Add(1)
-	h.acct.OnLarge()
-	h.acct.OnMalloc(sp.Len)
+	h.acct.OnLarge(0)
+	h.acct.OnMalloc(0, sp.Len)
 	return alloc.Ptr(sp.Base)
 }
 
@@ -273,7 +290,7 @@ func (h *Hoard) Free(t *alloc.Thread, p alloc.Ptr) {
 		if uint64(p) != sp.Base {
 			panic(fmt.Sprintf("hoard: free of interior large-object pointer %#x", uint64(p)))
 		}
-		h.acct.OnFree(owner.size)
+		h.acct.OnFree(0, owner.size)
 		h.space.Release(sp)
 		e.Charge(env.OpOSAlloc, 1)
 		e.Charge(env.OpFree, 1)
@@ -285,25 +302,69 @@ func (h *Hoard) Free(t *alloc.Thread, p alloc.Ptr) {
 }
 
 func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock, p alloc.Ptr) {
-	// Lock the heap that owns the superblock. Ownership can change while
-	// we wait for the lock, so re-check and retry — the paper's free
-	// protocol.
-	var hp *heap.Heap
+	myIdx := t.State.(*threadState).heapIdx
+	blockSize := sb.BlockSize()
 	for {
 		id := sb.OwnerID()
-		hp = h.heaps[id]
-		hp.Lock.Lock(e)
-		if sb.OwnerID() == id {
-			break
+		switch {
+		case id == myIdx:
+			// Our own heap: take the lock we'd take anyway and free
+			// directly. Ownership can change while we wait, so
+			// re-check after acquiring — the paper's free protocol.
+			hp := h.heaps[id]
+			hp.Lock.Lock(e)
+			if sb.OwnerID() != id {
+				hp.Lock.Unlock(e)
+				e.Charge(env.OpListScan, 1)
+				continue
+			}
+			h.freeLocked(e, hp, sb, p)
+			h.acct.OnFree(id, blockSize)
+			return
+		case id == 0:
+			// Global-heap superblock: free under the global lock so
+			// a free that empties it can trigger the
+			// GlobalEmptyLimit release immediately.
+			g := h.heaps[0]
+			g.Lock.Lock(e)
+			if sb.OwnerID() != 0 {
+				g.Lock.Unlock(e)
+				e.Charge(env.OpListScan, 1)
+				continue
+			}
+			h.remote.Add(1)
+			h.freeLocked(e, g, sb, p)
+			h.acct.OnFree(0, blockSize)
+			return
+		default:
+			// Another thread's heap: lock-free fast path. Push the
+			// block onto the superblock's remote stack — no heap
+			// lock — and leave reconciliation to the owner. The
+			// push is valid whatever ownership does concurrently:
+			// whichever heap owns the superblock when the stack is
+			// drained absorbs the free.
+			h.remote.Add(1)
+			h.remoteFast.Add(1)
+			pending := sb.RemoteFree(e, p)
+			owner := h.heaps[sb.OwnerID()]
+			owner.NoteRemotePush(int64(blockSize))
+			h.acct.OnFree(owner.ID, blockSize)
+			if pending >= sb.RemoteDrainThreshold() ||
+				owner.PendingHintBytes() >= int64(h.cfg.SuperblockSize/2) {
+				h.tryDrainOwner(e, owner)
+			}
+			return
 		}
-		hp.Lock.Unlock(e)
-		e.Charge(env.OpListScan, 1)
 	}
-	if hp.ID != t.State.(*threadState).heapIdx {
-		h.remote.Add(1)
+}
+
+// freeLocked performs a free while holding hp's lock (which it releases),
+// draining the superblock's remote stack in the same critical section and
+// restoring the emptiness invariant afterwards.
+func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, p alloc.Ptr) {
+	if hp.FreeBlock(e, sb, p) > 0 {
+		h.remoteDrains.Add(1)
 	}
-	blockSize := sb.BlockSize()
-	hp.FreeBlock(e, sb, p)
 	e.Charge(env.OpFree, 1)
 
 	// GlobalEmptyLimit extension: a free that empties a global-heap
@@ -316,30 +377,80 @@ func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock,
 		e.Charge(env.OpOSAlloc, 1)
 	}
 
-	// Restore the emptiness invariant on per-processor heaps by moving
-	// one at-least-f-empty superblock to the global heap.
-	if hp.ID != 0 && hp.InvariantViolated() {
-		if victim := hp.FindEvictable(e); victim != nil {
-			hp.Remove(victim)
-			e.Charge(env.OpSuperblockMove, 1)
-			h.sbMoves.Add(1)
-			h.movedLive.Add(int64(victim.InUse()))
-			g := h.heaps[0]
-			g.Lock.Lock(e)
-			if h.cfg.GlobalEmptyLimit > 0 && victim.Empty() &&
-				g.Superblocks() >= h.cfg.GlobalEmptyLimit {
-				g.Lock.Unlock(e)
-				victim.SetOwnerID(0)
-				victim.Release(h.space)
-				e.Charge(env.OpOSAlloc, 1)
-			} else {
-				g.Insert(victim)
-				g.Lock.Unlock(e)
+	if hp.ID != 0 {
+		// The heap's u counts remote-pending blocks as in use, so check
+		// the invariant discounted by the pending hint first; only a
+		// drain-then-exact-recheck may evict.
+		if hp.InvariantViolatedDiscounted() && hp.PendingHintBytes() > 0 {
+			if hp.DrainAll(e) > 0 {
+				h.remoteDrains.Add(1)
 			}
+		}
+		if hp.InvariantViolated() {
+			h.restoreInvariant(e, hp)
 		}
 	}
 	hp.Lock.Unlock(e)
-	h.acct.OnFree(blockSize)
+}
+
+// restoreInvariant moves one at-least-f-empty superblock from hp (whose lock
+// the caller holds) to the global heap, as the paper's free path prescribes.
+func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) {
+	victim := hp.FindEvictable(e)
+	if victim == nil {
+		return
+	}
+	hp.Remove(victim)
+	e.Charge(env.OpSuperblockMove, 1)
+	h.sbMoves.Add(1)
+	h.movedLive.Add(int64(victim.InUse()))
+	g := h.heaps[0]
+	g.Lock.Lock(e)
+	if h.cfg.GlobalEmptyLimit > 0 && victim.Empty() &&
+		g.Superblocks() >= h.cfg.GlobalEmptyLimit {
+		g.Lock.Unlock(e)
+		victim.SetOwnerID(0)
+		victim.Release(h.space)
+		e.Charge(env.OpOSAlloc, 1)
+	} else {
+		g.Insert(victim)
+		g.Lock.Unlock(e)
+	}
+}
+
+// tryDrainOwner opportunistically reconciles a heap's remote stacks when a
+// pusher notices they have grown. It must not block — blocking would
+// reintroduce the contention the fast path removes — so it gives up if the
+// owner's lock is busy; the owner will drain on its own next locked
+// operation.
+func (h *Hoard) tryDrainOwner(e env.Env, hp *heap.Heap) {
+	if !hp.Lock.TryLock(e) {
+		return
+	}
+	if hp.DrainAll(e) > 0 {
+		h.remoteDrains.Add(1)
+	}
+	if hp.ID != 0 && hp.InvariantViolated() {
+		h.restoreInvariant(e, hp)
+	}
+	hp.Lock.Unlock(e)
+}
+
+// Reconcile drains every heap's remote-free stacks and restores the
+// emptiness invariant, bringing the allocator to the state a lock-per-free
+// protocol would have reached. Tests call it to make post-quiescence
+// assertions exact; production callers never need it.
+func (h *Hoard) Reconcile(e env.Env) {
+	for _, hp := range h.heaps {
+		hp.Lock.Lock(e)
+		if hp.DrainAll(e) > 0 {
+			h.remoteDrains.Add(1)
+		}
+		if hp.ID != 0 && hp.InvariantViolated() {
+			h.restoreInvariant(e, hp)
+		}
+		hp.Lock.Unlock(e)
+	}
 }
 
 // UsableSize implements alloc.Allocator.
@@ -357,12 +468,26 @@ func (h *Hoard) UsableSize(p alloc.Ptr) int {
 	panic(fmt.Sprintf("hoard: UsableSize of foreign pointer %#x", uint64(p)))
 }
 
-// Bytes implements alloc.Allocator.
+// Bytes implements alloc.Allocator. One page-table lookup resolves both the
+// usable-size validation and the byte view.
 func (h *Hoard) Bytes(p alloc.Ptr, n int) []byte {
-	if n > h.UsableSize(p) {
-		panic(fmt.Sprintf("hoard: Bytes(%#x, %d) exceeds usable size %d", uint64(p), n, h.UsableSize(p)))
+	sp := h.space.Lookup(uint64(p))
+	if sp == nil {
+		panic(fmt.Sprintf("hoard: Bytes of unknown pointer %#x", uint64(p)))
 	}
-	return h.space.Bytes(uint64(p), n)
+	var usable int
+	switch owner := sp.Owner.(type) {
+	case *largeObj:
+		usable = owner.size
+	case *superblock.Superblock:
+		usable = owner.BlockSize()
+	default:
+		panic(fmt.Sprintf("hoard: Bytes of foreign pointer %#x", uint64(p)))
+	}
+	if n > usable {
+		panic(fmt.Sprintf("hoard: Bytes(%#x, %d) exceeds usable size %d", uint64(p), n, usable))
+	}
+	return sp.Bytes(int(uint64(p)-sp.Base), n)
 }
 
 // Realloc returns a block of at least size bytes with the first
@@ -395,6 +520,8 @@ func (h *Hoard) Stats() alloc.Stats {
 	st.GlobalHeapHits = h.globalHits.Load()
 	st.OSReserves = h.osReserves.Load()
 	st.RemoteFrees = h.remote.Load()
+	st.RemoteFastFrees = h.remoteFast.Load()
+	st.RemoteDrains = h.remoteDrains.Load()
 	return st
 }
 
@@ -431,15 +558,19 @@ func (h *Hoard) CheckIntegrity() error {
 		}
 	}
 	// Heap-resident in-use bytes plus large objects must equal the live
-	// gauge. Large objects are exactly the committed bytes not owned by
-	// heaps.
-	var heapBytes int64
+	// gauge, after discounting blocks parked on remote-free stacks (they
+	// still count in u but were already subtracted from the live gauge
+	// when pushed). Large objects are exactly the committed bytes not
+	// owned by heaps.
+	var heapBytes, pending int64
 	for _, hp := range h.heaps {
 		heapBytes += hp.A()
+		pending += hp.PendingBytes()
 	}
 	large := h.space.Committed() - heapBytes
-	if got := u + large; got != h.acct.Live() {
-		return fmt.Errorf("hoard: live accounting %d != heaps %d + large %d", h.acct.Live(), u, large)
+	if got := u + large - pending; got != h.acct.Live() {
+		return fmt.Errorf("hoard: live accounting %d != heaps %d + large %d - remote-pending %d",
+			h.acct.Live(), u, large, pending)
 	}
 	return nil
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// TestRemoteFastPathCounters: a cross-thread free to a per-processor heap
+// must take the lock-free push, and reconciliation must recover the blocks.
+func TestRemoteFastPathCounters(t *testing.T) {
+	h := newHoard(Config{Heaps: 4})
+	producer := thread(h, 0) // heap 1
+	consumer := thread(h, 1) // heap 2
+	var ps []alloc.Ptr
+	for i := 0; i < 50; i++ {
+		ps = append(ps, h.Malloc(producer, 64))
+	}
+	for _, p := range ps {
+		h.Free(consumer, p)
+	}
+	st := h.Stats()
+	if st.RemoteFrees != 50 {
+		t.Fatalf("RemoteFrees = %d, want 50", st.RemoteFrees)
+	}
+	if st.RemoteFastFrees != 50 {
+		t.Fatalf("RemoteFastFrees = %d, want 50 (remote frees took a lock)", st.RemoteFastFrees)
+	}
+	if st.LiveBytes != 0 {
+		t.Fatalf("LiveBytes = %d after remote frees", st.LiveBytes)
+	}
+	// Integrity holds with blocks still parked on remote stacks.
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity with in-flight remote frees: %v", err)
+	}
+	h.Reconcile(&env.RealEnv{})
+	if got := h.Stats().RemoteDrains; got == 0 {
+		t.Fatal("no remote drain recorded")
+	}
+	var pending int64
+	for i := 0; i < h.NumHeaps(); i++ {
+		u, _, _ := h.HeapSnapshot(i)
+		pending += u
+	}
+	if pending != 0 {
+		t.Fatalf("heap u sums to %d after Reconcile, want 0", pending)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalFreeTakesNoFastPath: same-heap frees must not be counted remote.
+func TestLocalFreeTakesNoFastPath(t *testing.T) {
+	h := newHoard(Config{Heaps: 4})
+	th := thread(h, 0)
+	p := h.Malloc(th, 64)
+	h.Free(th, p)
+	st := h.Stats()
+	if st.RemoteFrees != 0 || st.RemoteFastFrees != 0 {
+		t.Fatalf("local free counted remote: %d/%d", st.RemoteFrees, st.RemoteFastFrees)
+	}
+}
+
+// TestRemoteDoubleFreeDetected: a double free through the remote path is
+// deferred to drain time but must still panic.
+func TestRemoteDoubleFreeDetected(t *testing.T) {
+	h := newHoard(Config{Heaps: 2})
+	producer := thread(h, 0)
+	consumer := thread(h, 1)
+	p := h.Malloc(producer, 64)
+	h.Free(consumer, p)
+	h.Free(consumer, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double remote free not detected at reconciliation")
+		}
+	}()
+	h.Reconcile(&env.RealEnv{})
+}
+
+// TestOwnershipMigrationStress is the ownership-change race under the
+// lock-free protocol: producers mass-free locally so their heaps keep
+// evicting superblocks to the global heap while consumers push remote frees
+// at those same superblocks. At quiescence, accounting must be exact and
+// every structure consistent.
+func TestOwnershipMigrationStress(t *testing.T) {
+	h := newHoard(Config{Heaps: 3, EmptyFraction: 0.5, K: KNone})
+	const producers, consumers = 3, 3
+	const rounds = 60
+	const batch = 120
+	chans := make([]chan alloc.Ptr, producers)
+	for i := range chans {
+		chans[i] = make(chan alloc.Ptr, batch)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := thread(h, w)
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for r := 0; r < rounds; r++ {
+				var keep []alloc.Ptr
+				for i := 0; i < batch; i++ {
+					p := h.Malloc(th, 1+rng.Intn(200))
+					if i%2 == 0 {
+						chans[w] <- p
+					} else {
+						keep = append(keep, p)
+					}
+				}
+				// Mass local frees drive the emptiness invariant:
+				// superblocks migrate to the global heap while the
+				// consumer's remote frees for them are in flight.
+				for _, p := range keep {
+					h.Free(th, p)
+				}
+			}
+			close(chans[w])
+		}(w)
+	}
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Consumer threads map to different heaps than producers.
+			th := thread(h, producers+w)
+			for p := range chans[w%producers] {
+				h.Free(th, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity at quiescence (pre-reconcile): %v", err)
+	}
+	if live := h.Stats().LiveBytes; live != 0 {
+		t.Fatalf("LiveBytes = %d at quiescence", live)
+	}
+	h.Reconcile(&env.RealEnv{})
+	var u int64
+	for i := 0; i < h.NumHeaps(); i++ {
+		hu, _, _ := h.HeapSnapshot(i)
+		u += hu
+	}
+	if u != 0 {
+		t.Fatalf("heaps report %d bytes in use after Reconcile of a fully-freed run", u)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMallocMissDrainsOwnHeap: a heap whose superblocks are all "full" only
+// because of pending remote frees must satisfy the next malloc by draining,
+// not by fetching new memory.
+func TestMallocMissDrainsOwnHeap(t *testing.T) {
+	h := newHoard(Config{Heaps: 2})
+	producer := thread(h, 0)
+	consumer := thread(h, 1)
+	class, _ := h.Classes().ClassFor(64)
+	blockSize := h.Classes().Size(class)
+	perSB := h.cfg.SuperblockSize / blockSize
+	var ps []alloc.Ptr
+	for i := 0; i < perSB; i++ {
+		ps = append(ps, h.Malloc(producer, 64))
+	}
+	reserves := h.Stats().OSReserves
+	// Free remotely, below every drain threshold trigger.
+	for _, p := range ps[:4] {
+		h.Free(consumer, p)
+	}
+	// The superblock is full minus pending; the next producer malloc must
+	// drain rather than reserve.
+	q := h.Malloc(producer, 64)
+	if got := h.Stats().OSReserves; got != reserves {
+		t.Fatalf("malloc reserved from OS (%d -> %d) instead of draining remote frees", reserves, got)
+	}
+	h.Free(producer, q)
+	for _, p := range ps[4:] {
+		h.Free(producer, p)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

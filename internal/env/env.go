@@ -17,7 +17,10 @@
 // the LockFactory passed at construction.
 package env
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CostKind names an abstract unit of allocator or application work. The
 // simulator maps each kind to virtual nanoseconds via its cost model; the
@@ -42,6 +45,10 @@ const (
 	// OpOSAlloc is the cost of obtaining or returning memory from the
 	// simulated OS (an mmap-equivalent).
 	OpOSAlloc
+	// OpRemoteFree is the cost of the lock-free remote-free fast path: one
+	// link write plus a CAS on the superblock's remote stack head (no heap
+	// lock is taken; the matching drain is charged OpFree per block).
+	OpRemoteFree
 	// OpWork is application-level computation, in abstract work units as
 	// charged by workloads (the cost model scales it to time).
 	OpWork
@@ -64,6 +71,8 @@ func (k CostKind) String() string {
 		return "superblock-move"
 	case OpOSAlloc:
 		return "os-alloc"
+	case OpRemoteFree:
+		return "remote-free"
 	case OpWork:
 		return "work"
 	default:
@@ -144,3 +153,42 @@ func (l *realLock) Lock(Env)   { l.mu.Lock() }
 func (l *realLock) Unlock(Env) { l.mu.Unlock() }
 
 func (l *realLock) TryLock(Env) bool { return l.mu.TryLock() }
+
+// CountingLockFactory wraps another factory and counts successful lock
+// acquisitions (Lock and successful TryLock) across every lock it creates.
+// Benchmarks use it to report lock acquisitions per operation in the real
+// environment, where the simulator's LockStats are unavailable.
+type CountingLockFactory struct {
+	// Inner is the factory that creates the underlying locks.
+	Inner LockFactory
+
+	acquires atomic.Int64
+}
+
+// NewLock implements LockFactory.
+func (f *CountingLockFactory) NewLock(name string) Lock {
+	return &countingLock{inner: f.Inner.NewLock(name), n: &f.acquires}
+}
+
+// Acquires returns the total successful acquisitions so far.
+func (f *CountingLockFactory) Acquires() int64 { return f.acquires.Load() }
+
+type countingLock struct {
+	inner Lock
+	n     *atomic.Int64
+}
+
+func (l *countingLock) Lock(e Env) {
+	l.inner.Lock(e)
+	l.n.Add(1)
+}
+
+func (l *countingLock) Unlock(e Env) { l.inner.Unlock(e) }
+
+func (l *countingLock) TryLock(e Env) bool {
+	if !l.inner.TryLock(e) {
+		return false
+	}
+	l.n.Add(1)
+	return true
+}

@@ -69,3 +69,27 @@ func TestCostKindStrings(t *testing.T) {
 		t.Fatal("out-of-range kind should be unknown")
 	}
 }
+
+func TestCountingLockFactory(t *testing.T) {
+	f := &CountingLockFactory{Inner: RealLockFactory{}}
+	e := &RealEnv{}
+	a := f.NewLock("a")
+	b := f.NewLock("b")
+	a.Lock(e)
+	b.Lock(e)
+	if b.TryLock(e) {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if got := f.Acquires(); got != 2 {
+		t.Fatalf("Acquires = %d after 2 locks and a failed TryLock, want 2", got)
+	}
+	a.Unlock(e)
+	b.Unlock(e)
+	if !a.TryLock(e) {
+		t.Fatal("TryLock on free lock failed")
+	}
+	a.Unlock(e)
+	if got := f.Acquires(); got != 3 {
+		t.Fatalf("Acquires = %d, want 3", got)
+	}
+}

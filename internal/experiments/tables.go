@@ -282,7 +282,7 @@ func AblateK(opts Options, progress func(string, int)) Table {
 	t := Table{
 		ID: "ablate-k", Title: "A4b",
 		Paper:  "invariant slack K: global-heap serialization in free-heavy phases (threadtest, P=8)",
-		Header: []string{"K", "virtual ms", "remote frees", "superblock moves", "global wait ms"},
+		Header: []string{"K", "virtual ms", "remote frees", "lock-free frees", "superblock moves", "global wait ms"},
 	}
 	def, _ := FigureByID("threadtest")
 	run := def.Run(opts.Scale)
@@ -306,6 +306,7 @@ func AblateK(opts Options, progress func(string, int)) Table {
 			fmt.Sprintf("%d", shown),
 			fmt.Sprintf("%.2f", float64(res.ElapsedNS)/1e6),
 			fmt.Sprintf("%d", res.Alloc.RemoteFrees),
+			fmt.Sprintf("%d", res.Alloc.RemoteFastFrees),
 			fmt.Sprintf("%d", res.Alloc.SuperblockMoves),
 			fmt.Sprintf("%.2f", float64(globalWait)/1e6),
 		})
@@ -432,7 +433,7 @@ func Contention(opts Options, progress func(string, int)) Table {
 	t := Table{
 		ID: "contention", Title: "A8",
 		Paper:  "lock contention distribution (larson, P=8): total wait and its concentration",
-		Header: []string{"allocator", "virtual ms", "total wait ms", "hottest lock", "hottest share"},
+		Header: []string{"allocator", "virtual ms", "total wait ms", "hottest lock", "hottest share", "lock-free frees"},
 	}
 	def, _ := FigureByID("larson")
 	run := def.Run(opts.Scale)
@@ -461,6 +462,7 @@ func Contention(opts Options, progress func(string, int)) Table {
 			fmt.Sprintf("%.2f", float64(total)/1e6),
 			hotName,
 			share,
+			fmt.Sprintf("%d", res.Alloc.RemoteFastFrees),
 		})
 	}
 	return t

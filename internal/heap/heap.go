@@ -21,6 +21,7 @@ package heap
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/env"
@@ -48,6 +49,13 @@ type Heap struct {
 	u, a    int64
 	classes []classGroups
 	nSuper  int
+
+	// pending is a racy hint of how many bytes sit on the remote stacks
+	// of superblocks this heap owns. Remote pushers add to it without the
+	// heap lock; DrainAll resets it. It gates drain work (skip the sweep
+	// when nothing is plausibly pending) and discounts the emptiness
+	// invariant pre-check; correctness never depends on its value.
+	pending atomic.Int64
 }
 
 type classGroups struct {
@@ -123,8 +131,36 @@ func (h *Heap) Superblocks() int { return h.nSuper }
 // invariant when this returns true. The global heap never evicts, so core
 // only consults this on per-processor heaps.
 func (h *Heap) InvariantViolated() bool {
-	return h.u < h.a-int64(h.k*h.sbSize) && float64(h.u) < (1-h.fEmpty)*float64(h.a)
+	return h.invariantViolatedAt(h.u)
 }
+
+// InvariantViolatedDiscounted is the pre-drain form of the invariant check:
+// it discounts u by the pending-remote-free hint, since draining can only
+// lower u. It may report a violation that a drain-then-recheck disproves
+// (the hint can over- or under-count); callers must DrainAll and consult
+// InvariantViolated before actually evicting.
+func (h *Heap) InvariantViolatedDiscounted() bool {
+	p := h.pending.Load()
+	if p < 0 {
+		p = 0
+	}
+	u := h.u - p
+	if u < 0 {
+		u = 0
+	}
+	return h.invariantViolatedAt(u)
+}
+
+func (h *Heap) invariantViolatedAt(u int64) bool {
+	return u < h.a-int64(h.k*h.sbSize) && float64(u) < (1-h.fEmpty)*float64(h.a)
+}
+
+// NoteRemotePush records bytes pushed onto a remote stack of a superblock
+// this heap was observed to own. Called without the heap lock.
+func (h *Heap) NoteRemotePush(bytes int64) { h.pending.Add(bytes) }
+
+// PendingHintBytes returns the racy pending-remote-free hint.
+func (h *Heap) PendingHintBytes() int64 { return h.pending.Load() }
 
 // Insert adds a superblock (and its current contents) to the heap, taking
 // ownership. The superblock must not be on any other heap.
@@ -135,6 +171,12 @@ func (h *Heap) Insert(sb *superblock.Superblock) {
 	h.a += int64(h.sbSize)
 	h.u += int64(sb.BytesInUse())
 	h.nSuper++
+	// The incoming superblock may carry remote frees pushed while a
+	// previous heap owned it; fold them into this heap's hint so they are
+	// not stranded until some unrelated push.
+	if p := sb.RemotePendingBytes(); p > 0 {
+		h.pending.Add(p)
+	}
 }
 
 // Remove detaches a superblock from the heap, releasing ownership of its
@@ -186,14 +228,69 @@ func (h *Heap) AllocBlock(e env.Env, class int) (alloc.Ptr, bool) {
 }
 
 // FreeBlock returns a block to its superblock, which must be owned by this
-// heap.
-func (h *Heap) FreeBlock(e env.Env, sb *superblock.Superblock, p alloc.Ptr) {
+// heap. Any remote frees pending on the same superblock are drained in the
+// same critical section (we already paid for the lock); the number of blocks
+// so drained is returned.
+func (h *Heap) FreeBlock(e env.Env, sb *superblock.Superblock, p alloc.Ptr) int {
 	if sb.OwnerID() != h.ID {
 		panic(fmt.Sprintf("heap %d: FreeBlock on superblock owned by heap %d", h.ID, sb.OwnerID()))
 	}
+	drained := sb.DrainRemote(e)
 	sb.FreeBlock(e, p)
-	h.u -= int64(sb.BlockSize())
+	h.u -= int64(drained+1) * int64(sb.BlockSize())
 	h.regroup(sb)
+	return drained
+}
+
+// DrainSuper drains one owned superblock's remote stack, updating u and the
+// superblock's fullness group. Returns the number of blocks drained.
+func (h *Heap) DrainSuper(e env.Env, sb *superblock.Superblock) int {
+	n := sb.DrainRemote(e)
+	if n > 0 {
+		h.u -= int64(n) * int64(sb.BlockSize())
+		h.regroup(sb)
+	}
+	return n
+}
+
+// DrainClass drains the remote stacks of every owned superblock of one size
+// class. Returns the number of blocks drained.
+func (h *Heap) DrainClass(e env.Env, class int) int {
+	total := 0
+	lists := &h.classes[class].groups
+	// Draining only empties superblocks, so regroup moves them to
+	// lower-indexed groups; scanning groups in ascending order never
+	// visits a superblock twice.
+	for g := 0; g <= fullGroup; g++ {
+		for sb := lists[g].head; sb != nil; {
+			next := sb.Next
+			total += h.DrainSuper(e, sb)
+			sb = next
+		}
+	}
+	return total
+}
+
+// DrainAll drains every owned superblock's remote stack and resets the
+// pending hint. Returns the number of blocks drained.
+func (h *Heap) DrainAll(e env.Env) int {
+	total := 0
+	for c := range h.classes {
+		total += h.DrainClass(e, c)
+	}
+	h.pending.Store(0)
+	return total
+}
+
+// PendingBytes sums the remote-pending bytes across every owned superblock.
+// Exact only at quiescence (pushers may be mid-flight otherwise).
+func (h *Heap) PendingBytes() int64 {
+	var total int64
+	h.forEach(func(sb *superblock.Superblock) error {
+		total += sb.RemotePendingBytes()
+		return nil
+	})
+	return total
 }
 
 // FindEvictable returns a superblock that is at least f-empty, preferring
@@ -244,6 +341,12 @@ func (h *Heap) FindEvictable(e env.Env) *superblock.Superblock {
 // empty — superblock keeps heap ownership disjoint while still recycling
 // partial superblocks once demand exhausts the empties.
 func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock {
+	// Remote frees parked on this heap's superblocks may be exactly what
+	// turns a full superblock into a usable (or empty, recyclable) one;
+	// reconcile before searching if the hint says any are pending.
+	if h.pending.Load() > 0 {
+		h.DrainAll(e)
+	}
 	lists := &h.classes[class].groups
 	// Completely empty same-class superblocks first (group 0 mixes empty
 	// and lightly-used superblocks, so scan it for a true empty).

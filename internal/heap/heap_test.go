@@ -353,3 +353,114 @@ func TestTakeSuperPrefersEmptySameClass(t *testing.T) {
 		t.Fatalf("TakeSuper picked fullness %.2f, want the empty superblock", got.Fullness())
 	}
 }
+
+// --- Remote-free drains ---
+
+func TestDrainAllRebucketsAndAdjustsU(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	sb := newSuper(space, 2) // 256 blocks of 32 B
+	var ps []alloc.Ptr
+	for i := 0; i < 256; i++ {
+		p, _ := sb.AllocBlock(e)
+		ps = append(ps, p)
+	}
+	h.Insert(sb)
+	if sb.Group != NumGroups {
+		t.Fatalf("full superblock in group %d", sb.Group)
+	}
+	// A non-owner pushes most blocks remotely: u must not move yet.
+	for _, p := range ps[:200] {
+		sb.RemoteFree(e, p)
+	}
+	h.NoteRemotePush(int64(200 * sb.BlockSize()))
+	if h.U() != int64(256*sb.BlockSize()) {
+		t.Fatalf("u moved before drain: %d", h.U())
+	}
+	if !h.InvariantViolatedDiscounted() {
+		t.Fatal("discounted invariant check missed the pending frees")
+	}
+	if n := h.DrainAll(e); n != 200 {
+		t.Fatalf("DrainAll = %d, want 200", n)
+	}
+	if h.U() != int64(56*sb.BlockSize()) {
+		t.Fatalf("u after drain = %d, want %d", h.U(), 56*sb.BlockSize())
+	}
+	if want := groupOf(sb); sb.Group != want || sb.Group == NumGroups {
+		t.Fatalf("group after drain = %d, want %d", sb.Group, want)
+	}
+	if h.PendingHintBytes() != 0 {
+		t.Fatalf("pending hint not cleared: %d", h.PendingHintBytes())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeBlockDrainsSameSuperblock(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	sb := newSuper(space, 1)
+	a, _ := sb.AllocBlock(e)
+	b, _ := sb.AllocBlock(e)
+	c, _ := sb.AllocBlock(e)
+	h.Insert(sb)
+	sb.RemoteFree(e, a)
+	sb.RemoteFree(e, b)
+	if drained := h.FreeBlock(e, sb, c); drained != 2 {
+		t.Fatalf("FreeBlock drained %d, want 2", drained)
+	}
+	if h.U() != 0 || sb.InUse() != 0 {
+		t.Fatalf("u=%d inUse=%d after free+drain", h.U(), sb.InUse())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertFoldsPendingIntoHint(t *testing.T) {
+	space := vm.New()
+	src := newHeap(1)
+	dst := newHeap(2)
+	sb := newSuper(space, 0)
+	p, _ := sb.AllocBlock(e)
+	src.Insert(sb)
+	sb.RemoteFree(e, p) // in flight while the superblock migrates
+	src.Remove(sb)
+	dst.Insert(sb)
+	if dst.PendingHintBytes() != int64(sb.BlockSize()) {
+		t.Fatalf("dst hint = %d, want %d", dst.PendingHintBytes(), sb.BlockSize())
+	}
+	if n := dst.DrainAll(e); n != 1 {
+		t.Fatalf("DrainAll on new owner = %d, want 1", n)
+	}
+	if err := dst.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeSuperDrainsFirst(t *testing.T) {
+	space := vm.New()
+	g := newHeap(0)
+	sb := newSuper(space, 3)
+	var ps []alloc.Ptr
+	for !sb.Full() {
+		p, _ := sb.AllocBlock(e)
+		ps = append(ps, p)
+	}
+	g.Insert(sb)
+	// All blocks come back remotely: without a drain the heap looks full.
+	for _, p := range ps {
+		sb.RemoteFree(e, p)
+	}
+	g.NoteRemotePush(int64(len(ps) * sb.BlockSize()))
+	// A different class's TakeSuper must find (and Reinit) the now-empty
+	// superblock.
+	got := g.TakeSuper(e, 1, blockSizeFor(1))
+	if got != sb {
+		t.Fatalf("TakeSuper = %v, want the drained superblock", got)
+	}
+	if got.Class() != 1 {
+		t.Fatalf("class after Reinit = %d", got.Class())
+	}
+}

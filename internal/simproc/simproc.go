@@ -75,6 +75,7 @@ var DefaultCosts = CostModel{
 		env.OpListScan:       15,
 		env.OpSuperblockMove: 300,
 		env.OpOSAlloc:        3000,
+		env.OpRemoteFree:     40,
 		env.OpWork:           1,
 	},
 	LockAcquire: 40,

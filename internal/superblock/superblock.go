@@ -12,6 +12,15 @@
 // index), plus a lazy "carve frontier": blocks past the frontier have never
 // been allocated and need no list linkage. A per-superblock free bitmap
 // detects double frees and supports integrity checking.
+//
+// Cross-thread frees additionally use a lock-free remote stack: a Treiber
+// stack of block indices threaded through the same first-four-bytes links,
+// with an atomic head. Non-owning threads CAS-push freed blocks onto it
+// without taking the owning heap's lock; the owner drains the whole stack in
+// one batch (under its lock) at reconciliation points. Blocks on the remote
+// stack still count as in use — inUse, the free bitmap, and the owning
+// heap's u(i) statistic only change at drain time, which keeps Hoard's
+// emptiness invariant and blowup bound exact whenever they are consulted.
 package superblock
 
 import (
@@ -46,6 +55,17 @@ type Superblock struct {
 
 	freeBits []uint64 // bit i set = block i is free (listed or uncarved)
 
+	// remoteHead is the Treiber-stack head of blocks freed by non-owning
+	// threads: it holds idx+1 of the most recently pushed block (0 =
+	// empty), with links threaded through the blocks' first four bytes in
+	// the same format as the local free list. Pushers only CAS-push and
+	// the owner only pops the whole stack at once (Swap to 0), so there is
+	// no ABA window. remoteCount tracks the stack's length approximately
+	// (pushes increment before the CAS lands, drains subtract); it is a
+	// hint for drain heuristics, never a correctness input.
+	remoteHead  atomic.Uint32
+	remoteCount atomic.Int32
+
 	ownerID atomic.Int32
 
 	// Next and Prev link the superblock into its heap's fullness-group
@@ -76,6 +96,10 @@ func (sb *Superblock) format(class, blockSize int) {
 	sb.inUse = 0
 	sb.freeHead = 0
 	sb.carved = 0
+	if sb.remoteHead.Load() != 0 {
+		panic(fmt.Sprintf("superblock %#x: format with remote frees pending", sb.span.Base))
+	}
+	sb.remoteCount.Store(0)
 	words := (sb.nBlocks + 63) / 64
 	if cap(sb.freeBits) >= words {
 		sb.freeBits = sb.freeBits[:words]
@@ -105,6 +129,9 @@ func (sb *Superblock) Reinit(class, blockSize int) {
 func (sb *Superblock) Release(space *vm.Space) {
 	if sb.inUse != 0 {
 		panic("superblock: Release with blocks in use")
+	}
+	if sb.remoteHead.Load() != 0 {
+		panic("superblock: Release with remote frees pending")
 	}
 	space.Release(sb.span)
 	sb.span = nil
@@ -215,6 +242,96 @@ func (sb *Superblock) FreeBlock(e env.Env, p alloc.Ptr) {
 	sb.inUse--
 }
 
+// RemoteFree pushes a block freed by a non-owning thread onto the
+// superblock's lock-free remote stack and returns the (approximate) number
+// of blocks now pending. It takes no lock: the block's link is written, then
+// the stack head is CAS-published. The block stays marked in use — the
+// bitmap, inUse, and the owning heap's statistics are updated only when the
+// owner drains. Double frees through this path are therefore detected at
+// drain time, not push time.
+func (sb *Superblock) RemoteFree(e env.Env, p alloc.Ptr) int {
+	idx := sb.indexOf(p)
+	link := sb.span.Bytes(idx*sb.blockSize, 4)
+	e.Touch(uint64(p), 4, true)
+	e.Charge(env.OpRemoteFree, 1)
+	for {
+		head := sb.remoteHead.Load()
+		binary.LittleEndian.PutUint32(link, head)
+		// The CAS's release ordering publishes the link write; the
+		// drain's Swap acquires it, so the plain byte accesses never
+		// race.
+		if sb.remoteHead.CompareAndSwap(head, uint32(idx+1)) {
+			return int(sb.remoteCount.Add(1))
+		}
+	}
+}
+
+// DrainRemote pops the entire remote stack and splices it onto the local
+// free list, updating the bitmap and inUse. The caller must hold the owning
+// heap's lock. It returns the number of blocks drained (0 when the stack is
+// empty, in which case the call is a single atomic load). It panics on the
+// deferred double frees RemoteFree could not detect.
+func (sb *Superblock) DrainRemote(e env.Env) int {
+	if sb.remoteHead.Load() == 0 {
+		return 0
+	}
+	head := sb.remoteHead.Swap(0)
+	if head == 0 {
+		return 0
+	}
+	e.Charge(env.OpListScan, 1)
+	n := 0
+	tail := 0
+	for cur := int(head); cur != 0; {
+		idx := cur - 1
+		if idx < 0 || idx >= sb.carved {
+			panic(fmt.Sprintf("superblock %#x: remote stack index %d outside carved range [0,%d)", sb.Base(), idx, sb.carved))
+		}
+		if sb.isFree(idx) {
+			panic(fmt.Sprintf("superblock %#x: double free of block %d (remote)", sb.Base(), idx))
+		}
+		if n >= sb.nBlocks {
+			panic(fmt.Sprintf("superblock %#x: remote stack longer than %d blocks", sb.Base(), sb.nBlocks))
+		}
+		sb.setFree(idx)
+		n++
+		tail = idx
+		e.Touch(sb.addrOf(idx), 4, false)
+		e.Charge(env.OpFree, 1)
+		cur = int(binary.LittleEndian.Uint32(sb.span.Bytes(idx*sb.blockSize, 4)))
+	}
+	// The chain's links are already in local free-list format, so splicing
+	// is one link write: tail -> old freeHead, head becomes the new
+	// freeHead.
+	binary.LittleEndian.PutUint32(sb.span.Bytes(tail*sb.blockSize, 4), uint32(sb.freeHead))
+	sb.freeHead = int(head)
+	sb.inUse -= n
+	sb.remoteCount.Add(int32(-n))
+	return n
+}
+
+// RemotePending returns the approximate number of blocks waiting on the
+// remote stack. It is a racy hint: concurrent pushes and drains may make it
+// stale by the time the caller acts on it.
+func (sb *Superblock) RemotePending() int {
+	n := int(sb.remoteCount.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// RemoteDrainThreshold returns the pending count at which a pusher should
+// nudge the owner to drain (by trying the owner's lock): half the
+// superblock, but at least 8 blocks so tiny stacks don't thrash.
+func (sb *Superblock) RemoteDrainThreshold() int {
+	t := sb.nBlocks / 2
+	if t < 8 {
+		t = 8
+	}
+	return t
+}
+
 // Contains reports whether p points at a block boundary inside sb.
 func (sb *Superblock) Contains(p alloc.Ptr) bool {
 	a := uint64(p)
@@ -295,5 +412,40 @@ func (sb *Superblock) CheckIntegrity() error {
 	if sb.inUse < 0 || sb.inUse > sb.nBlocks {
 		return fmt.Errorf("superblock %#x: inUse %d out of range", sb.Base(), sb.inUse)
 	}
+	// Remote stack: every pending block must be a valid, currently
+	// allocated block, appear once, and match the pending counter. Pending
+	// blocks count as in use until drained.
+	remote := 0
+	rseen := make(map[int]bool)
+	for cur := int(sb.remoteHead.Load()); cur != 0; {
+		idx := cur - 1
+		if idx < 0 || idx >= sb.carved {
+			return fmt.Errorf("superblock %#x: remote stack index %d outside carved range [0,%d)", sb.Base(), idx, sb.carved)
+		}
+		if sb.isFree(idx) {
+			return fmt.Errorf("superblock %#x: remote-pending block %d already marked free", sb.Base(), idx)
+		}
+		if rseen[idx] || seen[idx] {
+			return fmt.Errorf("superblock %#x: block %d pushed remotely more than once", sb.Base(), idx)
+		}
+		rseen[idx] = true
+		remote++
+		if remote > sb.nBlocks {
+			return fmt.Errorf("superblock %#x: remote stack longer than %d blocks", sb.Base(), sb.nBlocks)
+		}
+		cur = int(binary.LittleEndian.Uint32(sb.span.Bytes(idx*sb.blockSize, 4)))
+	}
+	if got := int(sb.remoteCount.Load()); got != remote {
+		return fmt.Errorf("superblock %#x: remote stack holds %d blocks, counter says %d", sb.Base(), remote, got)
+	}
+	if remote > sb.inUse {
+		return fmt.Errorf("superblock %#x: %d remote-pending blocks but only %d in use", sb.Base(), remote, sb.inUse)
+	}
 	return nil
+}
+
+// RemotePendingBytes returns the approximate bytes waiting on the remote
+// stack (pending blocks times block size).
+func (sb *Superblock) RemotePendingBytes() int64 {
+	return int64(sb.RemotePending()) * int64(sb.blockSize)
 }

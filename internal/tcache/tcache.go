@@ -221,9 +221,12 @@ func (a *Allocator) Stats() alloc.Stats {
 	a.acct.Fill(&st)
 	inner := a.inner.Stats()
 	st.SuperblockMoves = inner.SuperblockMoves
+	st.MovedLiveBlocks = inner.MovedLiveBlocks
 	st.GlobalHeapHits = inner.GlobalHeapHits
 	st.OSReserves = inner.OSReserves
 	st.RemoteFrees = inner.RemoteFrees
+	st.RemoteFastFrees = inner.RemoteFastFrees
+	st.RemoteDrains = inner.RemoteDrains
 	st.LargeMallocs = inner.LargeMallocs
 	return st
 }
