@@ -18,6 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Figure benchmarks are full deterministic simulations; run each once.
+# Figure benchmarks are full deterministic simulations; run each once. The
+# key batching benches (threadtest/larson figures, the contended
+# producer-consumer probe, and the tcache batch-locks comparison) run here,
+# then the committed artifact is regenerated.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -benchtime=1x \
+		-bench='FigThreadtest|FigLarson|ProducerConsumerContended|TCacheBatchLocks' .
+	$(GO) run ./cmd/hoardbench -artifact BENCH_PR3.json

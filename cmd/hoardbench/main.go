@@ -37,6 +37,7 @@ func run() error {
 		allocFlag = flag.String("allocs", "", "allocators to compare, e.g. hoard,serial")
 		verbose   = flag.Bool("v", false, "print progress to stderr")
 		format    = flag.String("format", "text", "output format: text, csv, or md")
+		artifact  = flag.String("artifact", "", "write the benchmark artifact (batch lock counts + key sim runs) to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -72,6 +73,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *artifact != "" {
+		return writeArtifact(*artifact, opts, *scaleFlag, progress)
+	}
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = allIDs()
@@ -96,7 +100,7 @@ func allIDs() []string {
 	return append(ids,
 		"frag", "uniproc", "blowup", "blowup-shift",
 		"ablate-f", "ablate-s", "ablate-k", "ablate-heaps",
-		"ablate-release", "tcache", "coherence", "contention", "cost-sensitivity")
+		"ablate-release", "ablate-batch", "tcache", "coherence", "contention", "cost-sensitivity")
 }
 
 func runOne(id string, opts experiments.Options, of experiments.OutputFormat, progress func(string, int)) error {
@@ -116,6 +120,7 @@ func runOne(id string, opts experiments.Options, of experiments.OutputFormat, pr
 		"ablate-k":         experiments.AblateK,
 		"ablate-heaps":     experiments.AblateHeaps,
 		"tcache":           experiments.AblateTCache,
+		"ablate-batch":     experiments.AblateBatch,
 		"ablate-release":   experiments.AblateRelease,
 		"contention":       experiments.Contention,
 		"coherence":        experiments.Coherence,

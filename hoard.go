@@ -263,6 +263,22 @@ func (t *Thread) MallocAligned(size, align int) Ptr {
 	return t.Malloc(size)
 }
 
+// MallocBatch allocates up to n blocks of at least size bytes each into
+// out[:n] and returns the number obtained. Policies with a native batch path
+// (Hoard, serial) serve the whole batch under a single heap-lock
+// acquisition; others fall back to per-block Mallocs. The tcache layer uses
+// the same machinery for its magazine refills.
+func (t *Thread) MallocBatch(size, n int, out []Ptr) int {
+	return alloc.MallocBatch(t.a.impl, t.inner, size, n, out)
+}
+
+// FreeBatch releases every block in ps (nil entries are skipped). Policies
+// with a native batch path group the pointers by owner and take each owner's
+// lock once per group; others fall back to per-block Frees.
+func (t *Thread) FreeBatch(ps []Ptr) {
+	alloc.FreeBatch(t.a.impl, t.inner, ps)
+}
+
 // Bytes returns a writable view of n bytes of a live block. The view stays
 // valid until the block is freed.
 func (t *Thread) Bytes(p Ptr, n int) []byte { return t.a.impl.Bytes(p, n) }
@@ -292,6 +308,14 @@ type Stats struct {
 	// RemoteDrains counts batch reconciliations of remote-free stacks
 	// that recovered at least one block.
 	RemoteDrains int64
+	// BatchRefills and BatchFlushes count native MallocBatch and FreeBatch
+	// calls — each a magazine transfer served under one heap-lock
+	// acquisition (per owner group, for flushes). Zero when the policy has
+	// no native batch path.
+	BatchRefills, BatchFlushes int64
+	// BatchedBlocks counts the blocks moved through those native batch
+	// calls, in both directions.
+	BatchedBlocks int64
 }
 
 // Stats returns a snapshot of the allocator's counters.
@@ -309,6 +333,9 @@ func (a *Allocator) Stats() Stats {
 		RemoteFrees:        st.RemoteFrees,
 		RemoteFastFrees:    st.RemoteFastFrees,
 		RemoteDrains:       st.RemoteDrains,
+		BatchRefills:       st.BatchRefills,
+		BatchFlushes:       st.BatchFlushes,
+		BatchedBlocks:      st.BatchedBlocks,
 	}
 }
 

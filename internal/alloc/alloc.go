@@ -87,6 +87,58 @@ type Allocator interface {
 	CheckIntegrity() error
 }
 
+// BatchAllocator is optionally implemented by allocators that can transfer
+// several blocks of one size class per lock acquisition. The package-level
+// MallocBatch and FreeBatch helpers dispatch to the native implementation
+// when present and fall back to per-block Malloc/Free otherwise, so callers
+// (the tcache magazine layer, batch-aware applications) work against any
+// Allocator.
+type BatchAllocator interface {
+	// MallocBatch allocates up to n blocks of at least size bytes each
+	// into out[:n] and returns the number obtained (all the allocators
+	// here always obtain n; the count exists for future allocators with a
+	// real exhaustion mode). n must not exceed len(out). Implementations
+	// acquire their heap lock once per batch, not once per block.
+	MallocBatch(t *Thread, size, n int, out []Ptr) int
+
+	// FreeBatch releases every block in ps. Nil pointers are skipped.
+	// Implementations group the pointers by owner and take each owner's
+	// lock once per group, not once per block.
+	FreeBatch(t *Thread, ps []Ptr)
+}
+
+// MallocBatch allocates up to n blocks of at least size bytes each into
+// out[:n], using a's native batch path when it implements BatchAllocator and
+// per-block Mallocs otherwise. It returns the number of blocks obtained.
+func MallocBatch(a Allocator, t *Thread, size, n int, out []Ptr) int {
+	if b, ok := a.(BatchAllocator); ok {
+		return b.MallocBatch(t, size, n, out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = a.Malloc(t, size)
+	}
+	return n
+}
+
+// FreeBatch releases every block in ps, using a's native batch path when it
+// implements BatchAllocator and per-block Frees otherwise.
+func FreeBatch(a Allocator, t *Thread, ps []Ptr) {
+	if b, ok := a.(BatchAllocator); ok {
+		b.FreeBatch(t, ps)
+		return
+	}
+	for _, p := range ps {
+		a.Free(t, p)
+	}
+}
+
+// NoBatch hides an allocator's native batch implementation: the embedded
+// interface promotes only the Allocator methods, so a type assertion to
+// BatchAllocator fails and the package-level batch helpers fall back to the
+// per-block path. Experiments and tests use it to ablate exactly where
+// batching's win comes from.
+type NoBatch struct{ Allocator }
+
 // Stats is a snapshot of allocator activity. Fields that do not apply to a
 // given allocator are zero.
 type Stats struct {
@@ -121,6 +173,31 @@ type Stats struct {
 	// superblocks at the moment they were evicted to the global heap
 	// (Hoard only) — each becomes a future remote free.
 	MovedLiveBlocks int64
+	// BatchRefills counts native MallocBatch calls (one magazine refill,
+	// when driven by the tcache layer) served under a single heap-lock
+	// acquisition.
+	BatchRefills int64
+	// BatchFlushes counts native FreeBatch calls (one magazine flush, when
+	// driven by the tcache layer); each takes one lock per owner group
+	// rather than one per block.
+	BatchFlushes int64
+	// BatchedBlocks counts blocks transferred through the native batch
+	// paths, in both directions. Zero when only the per-block fallback ran.
+	BatchedBlocks int64
+}
+
+// MergeAllocatorCounters overwrites every allocator-internal counter in dst
+// with inner's values while preserving dst's application-view gauges —
+// Mallocs, Frees, LiveBytes, and PeakLiveBytes. Layering allocators (tcache,
+// debugalloc) report their own application-level activity but must pass the
+// wrapped allocator's machinery counters through; because this helper copies
+// the whole struct and restores the application fields, counters added to
+// Stats later propagate without touching the wrappers.
+func MergeAllocatorCounters(dst *Stats, inner Stats) {
+	app := *dst
+	*dst = inner
+	dst.Mallocs, dst.Frees = app.Mallocs, app.Frees
+	dst.LiveBytes, dst.PeakLiveBytes = app.LiveBytes, app.PeakLiveBytes
 }
 
 // Accounting provides atomic live-byte gauges with a high-water mark,
@@ -145,10 +222,30 @@ func (a *Accounting) OnMalloc(n int) {
 	}
 }
 
+// OnMallocN records n allocations totalling bytes usable bytes in one
+// update: one counter add and one high-water check for the whole batch.
+func (a *Accounting) OnMallocN(n int, bytes int64) {
+	a.mallocs.Add(int64(n))
+	v := a.live.Add(bytes)
+	for {
+		p := a.peak.Load()
+		if v <= p || a.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
 // OnFree records a deallocation of usable size n.
 func (a *Accounting) OnFree(n int) {
 	a.frees.Add(1)
 	a.live.Add(int64(-n))
+}
+
+// OnFreeN records n deallocations totalling bytes usable bytes in one
+// update.
+func (a *Accounting) OnFreeN(n int, bytes int64) {
+	a.frees.Add(int64(n))
+	a.live.Add(-bytes)
 }
 
 // OnLarge records that an allocation took the large-object path.
@@ -218,6 +315,20 @@ func (a *ShardedAccounting) OnMalloc(shard, n int) {
 	}
 }
 
+// OnMallocN records n allocations totalling bytes usable bytes against one
+// shard in a single update — the batch paths' amortized accounting.
+func (a *ShardedAccounting) OnMallocN(shard, n int, bytes int64) {
+	s := a.shard(shard)
+	s.mallocs.Add(int64(n))
+	v := s.live.Add(bytes)
+	for {
+		p := s.peak.Load()
+		if v <= p || s.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
 // OnFree records a deallocation of usable size n against one shard. The
 // shard need not match the one that recorded the malloc; per-shard live
 // gauges can go negative, only the sum is meaningful.
@@ -225,6 +336,14 @@ func (a *ShardedAccounting) OnFree(shard, n int) {
 	s := a.shard(shard)
 	s.frees.Add(1)
 	s.live.Add(int64(-n))
+}
+
+// OnFreeN records n deallocations totalling bytes usable bytes against one
+// shard in a single update.
+func (a *ShardedAccounting) OnFreeN(shard, n int, bytes int64) {
+	s := a.shard(shard)
+	s.frees.Add(int64(n))
+	s.live.Add(-bytes)
 }
 
 // OnLarge records that an allocation took the large-object path.

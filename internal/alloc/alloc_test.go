@@ -29,8 +29,8 @@ func TestShardedAccountingAggregates(t *testing.T) {
 
 func TestShardedAccountingShardClamp(t *testing.T) {
 	a := NewSharded(2)
-	a.OnMalloc(7, 8)  // 7 % 2 -> shard 1
-	a.OnFree(-3, 8)   // negative ids must not panic
+	a.OnMalloc(7, 8) // 7 % 2 -> shard 1
+	a.OnFree(-3, 8)  // negative ids must not panic
 	if got := a.Live(); got != 0 {
 		t.Fatalf("Live = %d, want 0", got)
 	}

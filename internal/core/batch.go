@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/heap"
+	"hoardgo/internal/superblock"
+)
+
+// This file implements alloc.BatchAllocator for Hoard. The batch protocol
+// (DESIGN.md §8) amortizes the dominant per-operation cost — the
+// per-processor heap lock — over a magazine's worth of blocks: MallocBatch
+// carves up to n blocks under ONE heap-lock acquisition, and FreeBatch
+// groups its pointers by owning superblock with a single page-table pass and
+// frees each owner's groups under one acquisition of that owner's lock.
+
+// MallocBatch implements alloc.BatchAllocator. It fills out[:n] with blocks
+// of the given size and returns the count obtained (always min(n, len(out));
+// the OS never refuses in this simulated space, so batches are only
+// "partial" when capped by out).
+//
+// All n carves happen inside one critical section on the calling thread's
+// heap: superblock searches, drains of remote-pending stacks, and pulls from
+// the global heap (or the OS) happen in the same section, exactly as n
+// back-to-back Mallocs would do — minus n-1 lock round-trips. Accounting is
+// one sharded update for the whole batch.
+func (h *Hoard) MallocBatch(t *alloc.Thread, size, n int, out []alloc.Ptr) int {
+	if n > len(out) {
+		n = len(out)
+	}
+	if n <= 0 {
+		return 0
+	}
+	e := t.Env
+	if size > h.classes.MaxSize() {
+		// Large objects bypass superblocks and take no heap lock, so
+		// there is nothing to amortize; serve them per-block.
+		for i := 0; i < n; i++ {
+			out[i] = h.mallocLarge(e, size)
+		}
+		return n
+	}
+	class, _ := h.classes.ClassFor(size)
+	blockSize := h.classes.Size(class)
+	hp := h.heaps[t.State.(*threadState).heapIdx]
+
+	hp.Lock.Lock(e)
+	for got := 0; got < n; got++ {
+		p, ok := hp.AllocBlock(e, class)
+		if !ok && hp.PendingHintBytes() > 0 {
+			if hp.DrainAll(e) > 0 {
+				h.remoteDrains.Add(1)
+				p, ok = hp.AllocBlock(e, class)
+			}
+		}
+		if !ok {
+			e.Charge(env.OpMallocSlow, 1)
+			g := h.heaps[0]
+			g.Lock.Lock(e)
+			sb := g.TakeSuper(e, class, blockSize)
+			if sb != nil {
+				// As in Malloc: ownership transfer must be visible
+				// before the global lock is released.
+				hp.Insert(sb)
+				h.globalHits.Add(1)
+				e.Charge(env.OpSuperblockMove, 1)
+			}
+			g.Lock.Unlock(e)
+			if sb == nil {
+				e.Charge(env.OpOSAlloc, 1)
+				sb = superblock.New(h.space, h.cfg.SuperblockSize, class, blockSize)
+				h.osReserves.Add(1)
+				hp.Insert(sb)
+			}
+			p, ok = hp.AllocBlock(e, class)
+			if !ok {
+				panic("hoard: fresh superblock has no free block")
+			}
+		}
+		out[got] = p
+	}
+	hp.Lock.Unlock(e)
+
+	// Per-block bookkeeping really happened; the batch op is a surcharge
+	// for marshalling (see the charging discipline in internal/env).
+	e.Charge(env.OpMallocBatch, 1)
+	e.Charge(env.OpMallocFast, int64(n))
+	h.acct.OnMallocN(hp.ID, n, int64(n)*int64(blockSize))
+	h.batchRefills.Add(1)
+	h.batchedBlocks.Add(int64(n))
+	return n
+}
+
+// batchGroup is one owning superblock's share of a FreeBatch.
+type batchGroup struct {
+	sb *superblock.Superblock
+	ps []alloc.Ptr
+}
+
+// FreeBatch implements alloc.BatchAllocator. One page-table pass resolves
+// and groups every pointer by owning superblock (large objects are released
+// inline); then each group is dispatched by the superblock's owner at that
+// moment:
+//
+//   - foreign owner: the whole group is pushed onto the superblock's remote
+//     stack with a single CAS (superblock.RemoteFreeBatch) and one
+//     pending-hint update — no lock at all;
+//   - own or global heap: every group still owned by that heap is freed
+//     under ONE acquisition of its lock, with the emptiness invariant
+//     restored once at the end (looping: a batch of B frees can demand up
+//     to B evictions where a single free demands at most one).
+//
+// Ownership can change while we wait for a lock, so groups re-check under
+// the lock and unclaimed groups retry the dispatch — the batch form of the
+// per-block free protocol's re-check dance.
+func (h *Hoard) FreeBatch(t *alloc.Thread, ps []alloc.Ptr) {
+	e := t.Env
+	myIdx := t.State.(*threadState).heapIdx
+
+	// Pass 1: one Lookup per pointer; free large objects inline, group
+	// small blocks by superblock. Groups are kept in first-seen order in a
+	// slice (batches are magazine-sized; a deterministic linear scan beats
+	// a map's randomized iteration for simulator reproducibility).
+	var groups []batchGroup
+	for _, p := range ps {
+		if p.IsNil() {
+			continue
+		}
+		sp := h.space.Lookup(uint64(p))
+		if sp == nil {
+			panic(fmt.Sprintf("hoard: free of unknown pointer %#x", uint64(p)))
+		}
+		switch owner := sp.Owner.(type) {
+		case *largeObj:
+			if uint64(p) != sp.Base {
+				panic(fmt.Sprintf("hoard: free of interior large-object pointer %#x", uint64(p)))
+			}
+			h.acct.OnFree(0, owner.size)
+			h.space.Release(sp)
+			e.Charge(env.OpOSAlloc, 1)
+			e.Charge(env.OpFree, 1)
+		case *superblock.Superblock:
+			found := false
+			for i := range groups {
+				if groups[i].sb == owner {
+					groups[i].ps = append(groups[i].ps, p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				groups = append(groups, batchGroup{sb: owner, ps: []alloc.Ptr{p}})
+			}
+		default:
+			panic(fmt.Sprintf("hoard: free of foreign pointer %#x", uint64(p)))
+		}
+	}
+	e.Charge(env.OpFreeBatch, 1)
+	h.batchFlushes.Add(1)
+	for _, g := range groups {
+		h.batchedBlocks.Add(int64(len(g.ps)))
+	}
+
+	for len(groups) > 0 {
+		// Dispatch remote groups lock-free; collect the rest.
+		local := groups[:0]
+		for _, g := range groups {
+			id := g.sb.OwnerID()
+			if id != myIdx && id != 0 {
+				h.freeBatchRemote(e, g)
+				continue
+			}
+			local = append(local, g)
+		}
+		if len(local) == 0 {
+			return
+		}
+		// Take the lock of the first local group's owner once and free
+		// every group that heap still owns under it. Groups whose
+		// ownership moved while we waited go around again.
+		id := local[0].sb.OwnerID()
+		groups = h.freeBatchLocked(e, h.heaps[id], local)
+		if len(groups) == len(local) {
+			// The lock bought us nothing (ownership raced away
+			// before we acquired it); account the wasted pass like
+			// the per-block retry does.
+			e.Charge(env.OpListScan, 1)
+		}
+	}
+}
+
+// freeBatchRemote pushes one owner-group onto its superblock's remote stack:
+// a single CAS for the whole group, one pending-hint update, one accounting
+// update, and the same opportunistic drain nudges as the per-block fast
+// path. Valid whatever ownership does concurrently — whichever heap owns
+// the superblock when the stack drains absorbs the frees.
+func (h *Hoard) freeBatchRemote(e env.Env, g batchGroup) {
+	nblk := len(g.ps)
+	blockSize := g.sb.BlockSize()
+	h.remote.Add(int64(nblk))
+	h.remoteFast.Add(int64(nblk))
+	pending := g.sb.RemoteFreeBatch(e, g.ps)
+	owner := h.heaps[g.sb.OwnerID()]
+	owner.NoteRemotePush(int64(nblk) * int64(blockSize))
+	h.acct.OnFreeN(owner.ID, nblk, int64(nblk)*int64(blockSize))
+	if pending >= g.sb.RemoteDrainThreshold() ||
+		owner.PendingHintBytes() >= int64(h.cfg.SuperblockSize/2) {
+		h.tryDrainOwner(e, owner)
+	}
+}
+
+// freeBatchLocked acquires hp's lock once, frees every group still owned by
+// hp, restores the emptiness invariant (once, at the end), and returns the
+// groups whose ownership had moved elsewhere. The lock is released before
+// returning; the single accounting update happens outside the critical
+// section, as on the per-block path.
+func (h *Hoard) freeBatchLocked(e env.Env, hp *heap.Heap, groups []batchGroup) (missed []batchGroup) {
+	var nblk int
+	var bytes int64
+	hp.Lock.Lock(e)
+	for _, g := range groups {
+		if g.sb.OwnerID() != hp.ID {
+			missed = append(missed, g)
+			continue
+		}
+		if hp.FreeBlocks(e, g.sb, g.ps) > 0 {
+			h.remoteDrains.Add(1)
+		}
+		e.Charge(env.OpFree, int64(len(g.ps)))
+		nblk += len(g.ps)
+		bytes += int64(len(g.ps)) * int64(g.sb.BlockSize())
+		if hp.ID == 0 {
+			h.remote.Add(int64(len(g.ps)))
+			if h.cfg.GlobalEmptyLimit > 0 && g.sb.Empty() &&
+				hp.Superblocks() > h.cfg.GlobalEmptyLimit {
+				hp.Remove(g.sb)
+				g.sb.Release(h.space)
+				e.Charge(env.OpOSAlloc, 1)
+			}
+		}
+	}
+	if hp.ID != 0 && nblk > 0 {
+		if hp.InvariantViolatedDiscounted() && hp.PendingHintBytes() > 0 {
+			if hp.DrainAll(e) > 0 {
+				h.remoteDrains.Add(1)
+			}
+		}
+		// A batch of B frees can push the heap up to B blocks past the
+		// invariant; keep evicting until it holds (or no superblock
+		// qualifies — the benign all-full capacity-waste state).
+		for hp.InvariantViolated() && h.restoreInvariant(e, hp) {
+		}
+	}
+	hp.Lock.Unlock(e)
+	if nblk > 0 {
+		h.acct.OnFreeN(hp.ID, nblk, bytes)
+	}
+	return missed
+}

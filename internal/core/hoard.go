@@ -140,14 +140,17 @@ type Hoard struct {
 	// heap's shard — the shard that recorded the malloc except for blocks
 	// carried along by an evicted superblock — keeping per-shard peaks
 	// tight.
-	acct         *alloc.ShardedAccounting
-	sbMoves      atomic.Int64
-	movedLive    atomic.Int64
-	globalHits   atomic.Int64
-	osReserves   atomic.Int64
-	remote       atomic.Int64
-	remoteFast   atomic.Int64
-	remoteDrains atomic.Int64
+	acct          *alloc.ShardedAccounting
+	sbMoves       atomic.Int64
+	movedLive     atomic.Int64
+	globalHits    atomic.Int64
+	osReserves    atomic.Int64
+	remote        atomic.Int64
+	remoteFast    atomic.Int64
+	remoteDrains  atomic.Int64
+	batchRefills  atomic.Int64
+	batchFlushes  atomic.Int64
+	batchedBlocks atomic.Int64
 }
 
 // threadState is the per-thread state: the index of the heap the thread
@@ -395,10 +398,13 @@ func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, 
 
 // restoreInvariant moves one at-least-f-empty superblock from hp (whose lock
 // the caller holds) to the global heap, as the paper's free path prescribes.
-func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) {
+// It reports whether a victim was found; a single free can violate the
+// invariant by at most one block, so one move always suffices there, but the
+// batch free path loops until the invariant holds or no victim remains.
+func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) bool {
 	victim := hp.FindEvictable(e)
 	if victim == nil {
-		return
+		return false
 	}
 	hp.Remove(victim)
 	e.Charge(env.OpSuperblockMove, 1)
@@ -416,6 +422,7 @@ func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) {
 		g.Insert(victim)
 		g.Lock.Unlock(e)
 	}
+	return true
 }
 
 // tryDrainOwner opportunistically reconciles a heap's remote stacks when a
@@ -522,6 +529,9 @@ func (h *Hoard) Stats() alloc.Stats {
 	st.RemoteFrees = h.remote.Load()
 	st.RemoteFastFrees = h.remoteFast.Load()
 	st.RemoteDrains = h.remoteDrains.Load()
+	st.BatchRefills = h.batchRefills.Load()
+	st.BatchFlushes = h.batchFlushes.Load()
+	st.BatchedBlocks = h.batchedBlocks.Load()
 	return st
 }
 

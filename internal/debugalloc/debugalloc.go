@@ -48,6 +48,10 @@ type Config struct {
 type Allocator struct {
 	inner alloc.Allocator
 	cfg   Config
+	// acct tracks the application's view — requested (not canary-padded)
+	// bytes, counted when the application mallocs and frees, not when
+	// quarantine finally releases.
+	acct alloc.Accounting
 
 	mu         sync.Mutex
 	live       map[alloc.Ptr]int // user ptr -> requested size
@@ -112,6 +116,7 @@ func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 	a.mu.Lock()
 	a.live[user] = size
 	a.mu.Unlock()
+	a.acct.OnMalloc(size)
 	return user
 }
 
@@ -128,6 +133,8 @@ func (a *Allocator) Free(t *alloc.Thread, p alloc.Ptr) {
 	}
 	delete(a.live, p)
 	a.mu.Unlock()
+
+	a.acct.OnFree(size)
 
 	a.checkCanary(uint64(p)-canarySize, "front", p)
 	a.checkCanary(uint64(p)+uint64(size), "rear", p)
@@ -204,17 +211,14 @@ func (a *Allocator) Bytes(p alloc.Ptr, n int) []byte {
 	return a.inner.Space().Bytes(uint64(p), n)
 }
 
-// Stats implements alloc.Allocator, reporting application-level live bytes
-// (quarantined blocks are dead to the application).
+// Stats implements alloc.Allocator, reporting application-level operation
+// counts and requested-byte gauges (quarantined blocks are dead to the
+// application, canary padding is invisible) over the inner allocator's
+// mechanism counters.
 func (a *Allocator) Stats() alloc.Stats {
-	st := a.inner.Stats()
-	a.mu.Lock()
-	var live int64
-	for _, sz := range a.live {
-		live += int64(sz)
-	}
-	st.LiveBytes = live
-	a.mu.Unlock()
+	var st alloc.Stats
+	a.acct.Fill(&st)
+	alloc.MergeAllocatorCounters(&st, a.inner.Stats())
 	return st
 }
 

@@ -27,12 +27,23 @@ import (
 // real environment ignores charges entirely.
 type CostKind int
 
+// Charging discipline (asserted by the cost tests in internal/core): every
+// small malloc charges OpMallocFast exactly once; a malloc that had to visit
+// the global heap or the OS additionally charges OpMallocSlow exactly once —
+// a surcharge on top of the fast-path cost, never a replacement. The batch
+// paths keep the same per-block charges (the per-block bookkeeping really
+// happens) and add one OpMallocBatch/OpFreeBatch per call for the batch
+// setup; their saving shows up in lock costs, which are charged per
+// acquisition, not per block.
 const (
 	// OpMallocFast is the bookkeeping cost of a malloc that is satisfied
 	// from a superblock already owned by the calling thread's heap.
 	OpMallocFast CostKind = iota
 	// OpMallocSlow is the extra cost of a malloc that must visit the
-	// global heap or the OS to obtain a superblock.
+	// global heap or the OS to obtain a superblock. It is a surcharge:
+	// slow-path mallocs charge OpMallocFast as well (the fast-path
+	// bookkeeping still runs), plus one OpMallocSlow per superblock
+	// acquisition.
 	OpMallocSlow
 	// OpFree is the bookkeeping cost of a free.
 	OpFree
@@ -47,8 +58,20 @@ const (
 	OpOSAlloc
 	// OpRemoteFree is the cost of the lock-free remote-free fast path: one
 	// link write plus a CAS on the superblock's remote stack head (no heap
-	// lock is taken; the matching drain is charged OpFree per block).
+	// lock is taken; the matching drain is charged OpFree per block). A
+	// batched remote push charges it once per block — the link writes are
+	// real — while the single CAS is covered by the batch op below.
 	OpRemoteFree
+	// OpMallocBatch is the per-call setup cost of a batched malloc
+	// (MallocBatch): argument marshalling and the single
+	// sharded-accounting update. Charged once per batch on top of the
+	// per-block OpMallocFast charges.
+	OpMallocBatch
+	// OpFreeBatch is the per-call setup cost of a batched free
+	// (FreeBatch): the single page-table grouping pass bookkeeping and the
+	// per-owner-group accounting updates. Charged once per batch on top of
+	// the per-block OpFree/OpRemoteFree charges.
+	OpFreeBatch
 	// OpWork is application-level computation, in abstract work units as
 	// charged by workloads (the cost model scales it to time).
 	OpWork
@@ -73,6 +96,10 @@ func (k CostKind) String() string {
 		return "os-alloc"
 	case OpRemoteFree:
 		return "remote-free"
+	case OpMallocBatch:
+		return "malloc-batch"
+	case OpFreeBatch:
+		return "free-batch"
 	case OpWork:
 		return "work"
 	default:

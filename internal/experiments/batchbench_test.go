@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestMeasureBatchLocks asserts the PR's acceptance criterion: batching cuts
+// per-processor-heap lock acquisitions per cached malloc by at least 5x
+// versus the per-block transfer path. With capacity 32, a half-magazine
+// transfer collapses 16 acquisitions into ~1, so the expected factor is
+// around an order of magnitude — 5x has comfortable slack.
+func TestMeasureBatchLocks(t *testing.T) {
+	res := MeasureBatchLocks(32, 50)
+	if res.Batch.Mallocs != res.PerBlock.Mallocs || res.Batch.Mallocs == 0 {
+		t.Fatalf("arms did unequal work: %d vs %d mallocs", res.Batch.Mallocs, res.PerBlock.Mallocs)
+	}
+	if res.Batch.BatchRefills == 0 || res.Batch.BatchFlushes == 0 {
+		t.Fatalf("batch arm never took the native path: %+v", res.Batch)
+	}
+	if res.PerBlock.BatchRefills != 0 || res.PerBlock.BatchFlushes != 0 {
+		t.Fatalf("per-block arm leaked native batch calls: %+v", res.PerBlock)
+	}
+	if res.Improvement < 5 {
+		t.Fatalf("lock-acquisition improvement %.2fx < 5x (batch %.3f vs per-block %.3f locks/malloc)",
+			res.Improvement, res.Batch.LocksPerMalloc, res.PerBlock.LocksPerMalloc)
+	}
+}
+
+func TestBatchSimResults(t *testing.T) {
+	entries := BatchSimResults(microOpts())
+	if len(entries) != 6 {
+		t.Fatalf("%d entries, want 6 (3 benches x 2 arms)", len(entries))
+	}
+	for _, e := range entries {
+		if e.VirtualMS <= 0 {
+			t.Fatalf("%s/%s reported no virtual time", e.Bench, e.Allocator)
+		}
+		batched := e.BatchRefills+e.BatchFlushes > 0
+		wantBatched := e.Allocator == "hoard+tcache (batch)"
+		if batched != wantBatched {
+			t.Fatalf("%s/%s: batch counters %v, want %v (refills=%d flushes=%d)",
+				e.Bench, e.Allocator, batched, wantBatched, e.BatchRefills, e.BatchFlushes)
+		}
+	}
+}

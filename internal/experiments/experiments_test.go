@@ -101,6 +101,7 @@ func TestTablesRun(t *testing.T) {
 		{"ablate-heaps", AblateHeaps, 3},
 		{"tcache", AblateTCache, 6},
 		{"ablate-release", AblateRelease, 3},
+		{"ablate-batch", AblateBatch, 8},
 		{"contention", Contention, 3},
 		{"cost-sensitivity", CostSensitivity, 5},
 	}

@@ -242,6 +242,23 @@ func (h *Heap) FreeBlock(e env.Env, sb *superblock.Superblock, p alloc.Ptr) int 
 	return drained
 }
 
+// FreeBlocks returns a batch of blocks to one superblock, which must be
+// owned by this heap — the batch form of FreeBlock: one remote-stack drain,
+// one u update, and one regroup for the whole group. The number of remotely
+// drained blocks is returned.
+func (h *Heap) FreeBlocks(e env.Env, sb *superblock.Superblock, ps []alloc.Ptr) int {
+	if sb.OwnerID() != h.ID {
+		panic(fmt.Sprintf("heap %d: FreeBlocks on superblock owned by heap %d", h.ID, sb.OwnerID()))
+	}
+	drained := sb.DrainRemote(e)
+	for _, p := range ps {
+		sb.FreeBlock(e, p)
+	}
+	h.u -= int64(drained+len(ps)) * int64(sb.BlockSize())
+	h.regroup(sb)
+	return drained
+}
+
 // DrainSuper drains one owned superblock's remote stack, updating u and the
 // superblock's fullness group. Returns the number of blocks drained.
 func (h *Heap) DrainSuper(e env.Env, sb *superblock.Superblock) int {

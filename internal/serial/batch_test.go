@@ -1,0 +1,79 @@
+package serial
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	a := New(0, env.RealLockFactory{})
+	th := a.NewThread(&env.RealEnv{})
+	const n = 50
+	out := make([]alloc.Ptr, n)
+	if got := a.MallocBatch(th, 64, n, out); got != n {
+		t.Fatalf("MallocBatch = %d, want %d", got, n)
+	}
+	seen := make(map[alloc.Ptr]bool, n)
+	for _, p := range out {
+		if p.IsNil() || seen[p] {
+			t.Fatalf("nil or duplicate pointer %#x", uint64(p))
+		}
+		seen[p] = true
+	}
+	a.FreeBatch(th, out)
+	st := a.Stats()
+	if st.Mallocs != n || st.Frees != n || st.LiveBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BatchRefills != 1 || st.BatchFlushes != 1 || st.BatchedBlocks != 2*n {
+		t.Fatalf("batch counters: refills=%d flushes=%d blocks=%d",
+			st.BatchRefills, st.BatchFlushes, st.BatchedBlocks)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchSingleLockAcquisition is the protocol's point on the serial
+// allocator: one heap-lock acquisition per MallocBatch and per FreeBatch,
+// however many blocks move.
+func TestBatchSingleLockAcquisition(t *testing.T) {
+	clf := &env.CountingLockFactory{Inner: env.RealLockFactory{}}
+	a := New(0, clf)
+	th := a.NewThread(&env.RealEnv{})
+	const n = 30
+	out := make([]alloc.Ptr, n)
+	a.MallocBatch(th, 64, n, out)
+	if got := clf.Acquires(); got != 1 {
+		t.Fatalf("MallocBatch(%d) took %d lock acquisitions, want 1", n, got)
+	}
+	a.FreeBatch(th, out)
+	if got := clf.Acquires(); got != 2 {
+		t.Fatalf("FreeBatch(%d) took %d further acquisitions, want 1", n, got-1)
+	}
+}
+
+func TestBatchMixedSuperblocksAndLarge(t *testing.T) {
+	a := New(0, env.RealLockFactory{})
+	th := a.NewThread(&env.RealEnv{})
+	var batch []alloc.Ptr
+	// Two size classes (two superblock groups) plus a large object and a
+	// nil: FreeBatch must group and dispatch each correctly.
+	for i := 0; i < 10; i++ {
+		batch = append(batch, a.Malloc(th, 64))
+	}
+	for i := 0; i < 5; i++ {
+		batch = append(batch, a.Malloc(th, 2000))
+	}
+	batch = append(batch, a.Malloc(th, a.classes.MaxSize()+1))
+	batch = append(batch, 0)
+	a.FreeBatch(th, batch)
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Fatalf("LiveBytes = %d", live)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,8 @@ var DefaultCosts = CostModel{
 		env.OpSuperblockMove: 300,
 		env.OpOSAlloc:        3000,
 		env.OpRemoteFree:     40,
+		env.OpMallocBatch:    50,
+		env.OpFreeBatch:      50,
 		env.OpWork:           1,
 	},
 	LockAcquire: 40,

@@ -266,6 +266,55 @@ func (sb *Superblock) RemoteFree(e env.Env, p alloc.Ptr) int {
 	}
 }
 
+// RemoteFreeBatch pushes every block in ps — all freed by a non-owning
+// thread — onto the remote stack with a single CAS: the blocks are chained
+// through their own link words locally, then the whole chain is published at
+// once. It returns the (approximate) number of blocks now pending. Like
+// RemoteFree it takes no lock and defers double-free detection to drain
+// time; a duplicate pointer inside one batch forms a cycle the drain's
+// bitmap walk reports as a remote double free.
+func (sb *Superblock) RemoteFreeBatch(e env.Env, ps []alloc.Ptr) int {
+	if len(ps) == 0 {
+		return sb.RemotePending()
+	}
+	// A duplicate inside one batch would be silently dropped by the chain
+	// build below (its link word is simply rewritten), so detect it here;
+	// batches are magazine-sized, so the quadratic scan is a few dozen
+	// compares. Duplicates across batches are detected at drain time, as
+	// on the per-block path.
+	for i, p := range ps {
+		for _, q := range ps[:i] {
+			if p == q {
+				panic(fmt.Sprintf("superblock %#x: double free of block %#x within one batch", sb.Base(), uint64(p)))
+			}
+		}
+	}
+	// Chain ps[0] -> ps[1] -> ... -> ps[k-1] through the blocks' link
+	// words. Each link write is a real access to the block's memory, as in
+	// the per-block path.
+	for i, p := range ps {
+		idx := sb.indexOf(p)
+		next := uint32(0)
+		if i+1 < len(ps) {
+			next = uint32(sb.indexOf(ps[i+1]) + 1)
+		}
+		binary.LittleEndian.PutUint32(sb.span.Bytes(idx*sb.blockSize, 4), next)
+		e.Touch(uint64(p), 4, true)
+	}
+	e.Charge(env.OpRemoteFree, int64(len(ps)))
+	headIdx := uint32(sb.indexOf(ps[0]) + 1)
+	tail := sb.span.Bytes(sb.indexOf(ps[len(ps)-1])*sb.blockSize, 4)
+	for {
+		head := sb.remoteHead.Load()
+		binary.LittleEndian.PutUint32(tail, head)
+		// As in RemoteFree, the CAS's release ordering publishes every
+		// link write of the chain; the drain's Swap acquires it.
+		if sb.remoteHead.CompareAndSwap(head, headIdx) {
+			return int(sb.remoteCount.Add(int32(len(ps))))
+		}
+	}
+}
+
 // DrainRemote pops the entire remote stack and splices it onto the local
 // free list, updating the bitmap and inUse. The caller must hold the owning
 // heap's lock. It returns the number of blocks drained (0 when the stack is

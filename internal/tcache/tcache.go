@@ -5,8 +5,12 @@
 // Malloc first pops the calling thread's magazine for the size class, with
 // no lock at all; free pushes onto it. Overflow flushes half the magazine
 // to the inner allocator (real frees, respecting its ownership discipline);
-// underflow refills a batch (real mallocs). The cache trades three things
-// against lock-free fast paths, all measurable with this package:
+// underflow refills a batch (real mallocs). Refills and flushes go through
+// the alloc.MallocBatch/FreeBatch shims, so an inner allocator implementing
+// alloc.BatchAllocator (Hoard, serial) serves each half-magazine transfer
+// under a single heap-lock acquisition; other allocators transparently fall
+// back to per-block calls. The cache trades three things against lock-free
+// fast paths, all measurable with this package:
 //
 //   - bounded extra memory: at most Capacity blocks per class per thread
 //     are stranded in magazines (reported as CachedBytes);
@@ -55,6 +59,13 @@ type Allocator struct {
 type threadState struct {
 	inner *alloc.Thread
 	mags  [][]alloc.Ptr // per class
+
+	// retired is set by FlushThread. A retired thread's handle stays
+	// usable — tcmalloc tolerates stray frees after thread exit — but
+	// bypasses the magazines entirely, so no block can be stranded in a
+	// cache that CachedBytes and CheckIntegrity no longer see. Only the
+	// owning thread reads or writes it, like mags.
+	retired bool
 }
 
 // New wraps inner with thread caches.
@@ -106,7 +117,7 @@ func (a *Allocator) classFor(size int) (int, bool) {
 func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 	ts := t.State.(*threadState)
 	class, ok := a.classFor(size)
-	if !ok {
+	if !ok || ts.retired {
 		p := a.inner.Malloc(ts.inner, size)
 		a.acct.OnMalloc(a.inner.UsableSize(p))
 		return p
@@ -130,20 +141,28 @@ func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 	return p
 }
 
-// refill fills half a magazine from the inner allocator. Only blocks whose
-// inner usable size exactly matches our class size are cacheable —
-// otherwise the magazine's byte accounting (and Free's round-trip check)
-// would drift; mismatches leave the magazine empty and Malloc bypasses.
+// refill fills half a magazine from the inner allocator with one
+// alloc.MallocBatch call — a single heap-lock acquisition when the inner
+// allocator batches natively. Only blocks whose inner usable size exactly
+// matches our class size are cacheable — otherwise the magazine's byte
+// accounting (and Free's round-trip check) would drift; mismatches are
+// batch-freed straight back, and an all-mismatch refill leaves the magazine
+// empty so Malloc bypasses.
 func (a *Allocator) refill(ts *threadState, class int) {
 	blockSize := a.classes.Size(class)
 	n := a.cfg.Capacity / 2
-	for i := 0; i < n; i++ {
-		p := a.inner.Malloc(ts.inner, blockSize)
+	buf := make([]alloc.Ptr, n)
+	got := alloc.MallocBatch(a.inner, ts.inner, blockSize, n, buf)
+	var bad []alloc.Ptr
+	for _, p := range buf[:got] {
 		if a.inner.UsableSize(p) != blockSize {
-			a.inner.Free(ts.inner, p)
-			return
+			bad = append(bad, p)
+			continue
 		}
 		ts.mags[class] = append(ts.mags[class], p)
+	}
+	if len(bad) > 0 {
+		alloc.FreeBatch(a.inner, ts.inner, bad)
 	}
 }
 
@@ -157,7 +176,7 @@ func (a *Allocator) Free(t *alloc.Thread, p alloc.Ptr) {
 	ts := t.State.(*threadState)
 	usable := a.inner.UsableSize(p)
 	class, ok := a.classFor(usable)
-	if !ok || a.classes.Size(class) != usable {
+	if !ok || a.classes.Size(class) != usable || ts.retired {
 		// Bypass sizes, and blocks whose inner class doesn't round-trip
 		// through our table, go straight down.
 		a.acct.OnFree(usable)
@@ -172,26 +191,46 @@ func (a *Allocator) Free(t *alloc.Thread, p alloc.Ptr) {
 	}
 }
 
-// flush returns half the magazine to the inner allocator.
+// flush returns half the magazine to the inner allocator with one
+// alloc.FreeBatch call — a single heap-lock acquisition per owning
+// superblock group when the inner allocator batches natively.
 func (a *Allocator) flush(ts *threadState, class int) {
 	mag := ts.mags[class]
 	keep := a.cfg.Capacity / 2
-	for _, p := range mag[keep:] {
-		a.inner.Free(ts.inner, p)
-	}
+	alloc.FreeBatch(a.inner, ts.inner, mag[keep:])
 	ts.mags[class] = mag[:keep]
 }
 
-// FlushThread empties every magazine of t back to the inner allocator —
-// what a thread-exit hook does in tcmalloc.
+// FlushThread batch-frees every magazine of t back to the inner allocator
+// and deregisters the thread — what a thread-exit hook does in tcmalloc.
+// The handle remains usable afterwards (stray late operations bypass the
+// magazines), but the thread no longer contributes to CachedBytes,
+// CheckIntegrity, or Threads, and its state can be collected once the
+// caller drops the handle.
 func (a *Allocator) FlushThread(t *alloc.Thread) {
 	ts := t.State.(*threadState)
 	for class, mag := range ts.mags {
-		for _, p := range mag {
-			a.inner.Free(ts.inner, p)
+		if len(mag) > 0 {
+			alloc.FreeBatch(a.inner, ts.inner, mag)
 		}
 		ts.mags[class] = nil
 	}
+	ts.retired = true
+	a.mu.Lock()
+	for i, s := range a.threads {
+		if s == ts {
+			a.threads = append(a.threads[:i], a.threads[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+}
+
+// Threads reports the number of registered (not yet flushed) threads.
+func (a *Allocator) Threads() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.threads)
 }
 
 // UsableSize implements alloc.Allocator.
@@ -214,20 +253,13 @@ func (a *Allocator) CachedBytes() int64 {
 	return total
 }
 
-// Stats implements alloc.Allocator, reporting application-level counters
-// (cached blocks count as free).
+// Stats implements alloc.Allocator, reporting application-level operation
+// and live-byte counters (cached blocks count as free) over the inner
+// allocator's mechanism counters.
 func (a *Allocator) Stats() alloc.Stats {
 	var st alloc.Stats
 	a.acct.Fill(&st)
-	inner := a.inner.Stats()
-	st.SuperblockMoves = inner.SuperblockMoves
-	st.MovedLiveBlocks = inner.MovedLiveBlocks
-	st.GlobalHeapHits = inner.GlobalHeapHits
-	st.OSReserves = inner.OSReserves
-	st.RemoteFrees = inner.RemoteFrees
-	st.RemoteFastFrees = inner.RemoteFastFrees
-	st.RemoteDrains = inner.RemoteDrains
-	st.LargeMallocs = inner.LargeMallocs
+	alloc.MergeAllocatorCounters(&st, a.inner.Stats())
 	return st
 }
 

@@ -1,6 +1,7 @@
 package tcache
 
 import (
+	"sync"
 	"testing"
 
 	"hoardgo/internal/alloc"
@@ -171,5 +172,136 @@ func BenchmarkCachedMallocFree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Free(th, a.Malloc(th, 64))
+	}
+}
+
+func TestRefillUsesNativeBatch(t *testing.T) {
+	const capacity = 16
+	a := newOverHoard(capacity)
+	th := a.NewThread(&env.RealEnv{})
+	a.Malloc(th, 64)
+	st := a.Stats()
+	if st.BatchRefills != 1 || st.BatchedBlocks != capacity/2 {
+		t.Fatalf("BatchRefills=%d BatchedBlocks=%d, want 1 refill of %d blocks",
+			st.BatchRefills, st.BatchedBlocks, capacity/2)
+	}
+	// Overflow the magazine: the flush must also go through the batch path.
+	var ps []alloc.Ptr
+	for i := 0; i < 2*capacity; i++ {
+		ps = append(ps, a.Malloc(th, 64))
+	}
+	for _, p := range ps {
+		a.Free(th, p)
+	}
+	if st := a.Stats(); st.BatchFlushes == 0 {
+		t.Fatal("magazine overflow never took the native FreeBatch path")
+	}
+}
+
+// TestFallbackShim runs the cache over an inner allocator whose native batch
+// path is hidden by alloc.NoBatch: everything must still work through the
+// generic per-block shims, and the batch counters must honestly stay zero.
+func TestFallbackShim(t *testing.T) {
+	const capacity = 16
+	a := New(alloc.NoBatch{Allocator: core.New(core.Config{Heaps: 4}, lf)}, Config{Capacity: capacity})
+	th := a.NewThread(&env.RealEnv{})
+	var ps []alloc.Ptr
+	for i := 0; i < 3*capacity; i++ {
+		ps = append(ps, a.Malloc(th, 64))
+	}
+	for _, p := range ps {
+		a.Free(th, p)
+	}
+	a.FlushThread(th)
+	st := a.Stats()
+	if st.BatchRefills != 0 || st.BatchFlushes != 0 || st.BatchedBlocks != 0 {
+		t.Fatalf("fallback path reported batch counters: %+v", st)
+	}
+	if st.Mallocs != int64(3*capacity) || st.Frees != int64(3*capacity) {
+		t.Fatalf("ops lost through the shim: %+v", st)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushThreadDeregisters(t *testing.T) {
+	a := newOverHoard(16)
+	t0 := a.NewThread(&env.RealEnv{ID: 0})
+	t1 := a.NewThread(&env.RealEnv{ID: 1})
+	if got := a.Threads(); got != 2 {
+		t.Fatalf("Threads = %d, want 2", got)
+	}
+	for i := 0; i < 8; i++ {
+		a.Free(t0, a.Malloc(t0, 64))
+	}
+	a.FlushThread(t0)
+	if got := a.Threads(); got != 1 {
+		t.Fatalf("Threads = %d after FlushThread, want 1", got)
+	}
+	// A stale handle stays usable but bypasses the magazines, so nothing
+	// can be stranded in a cache the allocator no longer tracks.
+	p := a.Malloc(t0, 64)
+	a.Free(t0, p)
+	if got := a.CachedBytes(); got != 0 {
+		t.Fatalf("retired thread cached %d bytes", got)
+	}
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Fatalf("LiveBytes = %d", live)
+	}
+	a.FlushThread(t1)
+	if got := a.Threads(); got != 0 {
+		t.Fatalf("Threads = %d after flushing all, want 0", got)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentChurnAndFlush churns goroutines through malloc/free/
+// FlushThread concurrently — under -race this is the thread-lifecycle
+// regression test for the deregistration path.
+func TestConcurrentChurnAndFlush(t *testing.T) {
+	a := newOverHoard(16)
+	const workers = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				th := a.NewThread(&env.RealEnv{ID: id*rounds + r})
+				var ps []alloc.Ptr
+				for i := 0; i < 40; i++ {
+					ps = append(ps, a.Malloc(th, 16+(i%5)*32))
+				}
+				// Free a third per-block, the rest through the generic
+				// batch shim (which lands in the magazines and flushes).
+				var rest []alloc.Ptr
+				for i, p := range ps {
+					if i%3 == 0 {
+						a.Free(th, p)
+					} else {
+						rest = append(rest, p)
+					}
+				}
+				alloc.FreeBatch(a, th, rest)
+				a.FlushThread(th)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Threads(); got != 0 {
+		t.Fatalf("Threads = %d after all workers flushed, want 0", got)
+	}
+	if h, ok := a.Inner().(*core.Hoard); ok {
+		h.Reconcile(&env.RealEnv{})
+	}
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Fatalf("LiveBytes = %d after churn", live)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
 	}
 }
