@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench metrics-smoke
 
 # check is the tier-1 gate: vet, build, and the full suite under the race
 # detector.
@@ -26,3 +26,12 @@ bench:
 	$(GO) test -benchtime=1x \
 		-bench='FigThreadtest|FigLarson|ProducerConsumerContended|TCacheBatchLocks' .
 	$(GO) run ./cmd/hoardbench -artifact BENCH_PR3.json
+
+# metrics-smoke exercises the observability layer end to end: the
+# instrumented churn run writes a timeline artifact (occupancy samples, lock
+# counters, audit record, embedded Prometheus scrape), and the exposition
+# format tests lint the scrape. Any audit failure fails the run.
+metrics-smoke:
+	$(GO) run ./cmd/hoardbench -metrics /tmp/hoardgo-metrics-timeline.json
+	$(GO) test -run 'TestCollectMetricsTimeline' ./internal/experiments/
+	$(GO) test -run 'TestWriteMetrics|TestLint' . ./internal/metrics/

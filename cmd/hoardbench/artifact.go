@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"hoardgo/internal/experiments"
 )
@@ -44,5 +45,30 @@ func writeArtifact(path string, opts experiments.Options, scale string, progress
 	fmt.Printf("wrote %s: %.2f locks/malloc per-block vs %.2f batched (%.1fx fewer)\n",
 		path, art.BatchLocks.PerBlock.LocksPerMalloc, art.BatchLocks.Batch.LocksPerMalloc,
 		art.BatchLocks.Improvement)
+	return nil
+}
+
+// writeMetricsTimeline runs the instrumented churn scenario behind -metrics
+// and writes the timeline artifact. Any invariant-audit failure during the
+// run is a hard error.
+func writeMetricsTimeline(path string, scale experiments.Scale) error {
+	workers, rounds := 4, 300
+	if scale == experiments.Full {
+		workers, rounds = 8, 2000
+	}
+	tl, err := experiments.CollectMetricsTimeline(workers, rounds, 2*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d samples, %d audits passed, final scrape %d bytes\n",
+		path, len(tl.Samples), tl.AuditPasses, len(tl.Prometheus))
 	return nil
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hoardbench [-exp all|<id>[,<id>...]] [-scale quick|full] [-procs 1,2,4,...] [-allocs hoard,serial,...] [-v]
+//	hoardbench -metrics timeline.json     # instrumented churn: occupancy/lock timeline + audit record
 //
 // Experiment ids: threadtest shbench larson active-false passive-false bem
 // barneshut (figures); catalog frag uniproc blowup (tables); ablate-f
@@ -38,6 +39,7 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print progress to stderr")
 		format    = flag.String("format", "text", "output format: text, csv, or md")
 		artifact  = flag.String("artifact", "", "write the benchmark artifact (batch lock counts + key sim runs) to this JSON file and exit")
+		metricsTo = flag.String("metrics", "", "run the instrumented churn scenario and write the metrics timeline (occupancy samples, lock counters, audit record, Prometheus scrape) to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -75,6 +77,9 @@ func run() error {
 	}
 	if *artifact != "" {
 		return writeArtifact(*artifact, opts, *scaleFlag, progress)
+	}
+	if *metricsTo != "" {
+		return writeMetricsTimeline(*metricsTo, scale)
 	}
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

@@ -8,6 +8,7 @@
 //
 //	hoardsim [-bench threadtest] [-alloc hoard] [-procs 8] [-scale quick|full] [-csv]
 //	hoardsim -bench larson -procs 8 -compare     # all allocators, one table
+//	hoardsim -bench larson -metrics out.prom     # instrument locks, dump a Prometheus scrape
 package main
 
 import (
@@ -15,8 +16,12 @@ import (
 	"fmt"
 	"os"
 
+	"hoardgo/internal/alloc"
 	"hoardgo/internal/allocators"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
 	"hoardgo/internal/experiments"
+	"hoardgo/internal/metrics"
 	"hoardgo/internal/workload"
 )
 
@@ -35,6 +40,7 @@ func run() error {
 		scaleFlag = flag.String("scale", "quick", "workload scale: quick or full")
 		csvFlag   = flag.Bool("csv", false, "emit one CSV line: bench,alloc,procs,virtual_ns,ops,ops_per_sec,max_live,peak_heap,remote_transfers")
 		compare   = flag.Bool("compare", false, "run every allocator at this point and print a comparison table")
+		metricsTo = flag.String("metrics", "", "instrument every simulated lock and write a post-run Prometheus scrape (counters, occupancy, lock stats) to this file")
 	)
 	flag.Parse()
 
@@ -64,8 +70,29 @@ func run() error {
 		}
 		return nil
 	}
-	h := workload.NewSim(*allocFlag, *procsFlag, opts.Cost)
+	var reg *metrics.Registry
+	var h *workload.Harness
+	if *metricsTo != "" {
+		// Wrap the simulated world's lock factory so every heap lock the
+		// allocator creates carries metrics counters. The wrapper's TryLock
+		// contention probe is charged by the simulator as one extra failed
+		// try per contended acquisition, so virtual times shift slightly
+		// against an uninstrumented run.
+		reg = metrics.NewRegistry()
+		name := *allocFlag
+		h = workload.NewSimMaker(name, *procsFlag, opts.Cost,
+			func(procs int, lf env.LockFactory) alloc.Allocator {
+				return allocators.MustMake(name, procs, reg.WrapFactory(lf))
+			})
+	} else {
+		h = workload.NewSim(*allocFlag, *procsFlag, opts.Cost)
+	}
 	res := def.Run(scale)(h, *procsFlag)
+	if reg != nil {
+		if err := writeSimMetrics(*metricsTo, h, res, reg); err != nil {
+			return err
+		}
+	}
 
 	if *csvFlag {
 		fmt.Printf("%s,%s,%d,%d,%d,%.0f,%d,%d,%d\n",
@@ -99,5 +126,51 @@ func run() error {
 	if !any {
 		fmt.Println("  (none)")
 	}
+	return nil
+}
+
+// writeSimMetrics dumps the post-run state of an instrumented simulator run
+// as a Prometheus scrape: allocator counters for every policy, per-heap
+// occupancy when the allocator is Hoard, and the registry's lock counters.
+// The run is over, so the sample is exact, not racy.
+func writeSimMetrics(path string, h *workload.Harness, res workload.Result, reg *metrics.Registry) error {
+	s := metrics.NewSnapshot(res.Allocator)
+	st := res.Alloc
+	s.Counters["mallocs_total"] = st.Mallocs
+	s.Counters["frees_total"] = st.Frees
+	s.Counters["live_bytes"] = st.LiveBytes
+	s.Counters["peak_live_bytes"] = st.PeakLiveBytes
+	s.Counters["footprint_bytes"] = res.VM.Committed
+	s.Counters["peak_footprint_bytes"] = res.VM.PeakCommitted
+	s.Counters["superblock_moves_total"] = st.SuperblockMoves
+	s.Counters["remote_frees_total"] = st.RemoteFrees
+	s.Counters["remote_fast_frees_total"] = st.RemoteFastFrees
+	s.Counters["remote_drains_total"] = st.RemoteDrains
+	s.Counters["virtual_ns_total"] = res.ElapsedNS
+	if hoard, ok := h.Allocator().(*core.Hoard); ok {
+		for id, occ := range hoard.SampleHeapsQuiescent(true) {
+			s.Heaps = append(s.Heaps, metrics.HeapSample{
+				ID:           id,
+				U:            occ.U,
+				A:            occ.A,
+				Superblocks:  occ.Superblocks,
+				PendingBytes: occ.PendingBytes,
+				Groups:       occ.Groups[:],
+			})
+		}
+	}
+	s.Locks = reg.LockStats()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics     wrote %s (%d locks instrumented)\n", path, len(s.Locks))
 	return nil
 }

@@ -48,7 +48,12 @@ const (
 	// OpFree is the bookkeeping cost of a free.
 	OpFree
 	// OpListScan is the cost of inspecting one superblock or free-list
-	// node while searching for free space.
+	// node while searching for free space. The discipline is per node:
+	// scans charge one unit per list head consulted plus one per node
+	// actually visited, so walking a long fullness-group list costs
+	// proportionally more than peeking at an empty one (a flat per-class
+	// charge would under-bill long group-0 scans and skew the cost model
+	// the experiments are built on).
 	OpListScan
 	// OpSuperblockMove is the cost of transferring one superblock between
 	// heaps (unlinking, relinking, statistics updates).

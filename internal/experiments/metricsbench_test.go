@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"hoardgo/internal/metrics"
+)
+
+func TestCollectMetricsTimeline(t *testing.T) {
+	tl, err := CollectMetricsTimeline(4, 50, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.AuditFailures != 0 {
+		t.Fatalf("%d audit failures", tl.AuditFailures)
+	}
+	if tl.AuditPasses == 0 {
+		t.Fatal("auditor never ran")
+	}
+	// Stop() always takes a final sample, so the timeline is never empty.
+	if len(tl.Samples) == 0 {
+		t.Fatal("empty timeline")
+	}
+	last := tl.Samples[len(tl.Samples)-1]
+	wantOps := int64(4 * 50 * 64)
+	if got := last.Counters["mallocs_total"]; got != wantOps {
+		t.Fatalf("final mallocs_total = %d, want %d", got, wantOps)
+	}
+	if len(last.Heaps) == 0 {
+		t.Fatal("no heap occupancy in final sample")
+	}
+	if len(last.Locks) == 0 {
+		t.Fatal("no lock stats in final sample")
+	}
+	var acquires int64
+	for _, l := range last.Locks {
+		acquires += l.Acquires
+	}
+	if acquires == 0 {
+		t.Fatal("instrumented locks saw no acquisitions")
+	}
+	// The embedded scrape must be valid Prometheus exposition text.
+	if err := metrics.LintPrometheus(tl.Prometheus); err != nil {
+		t.Fatalf("prometheus lint: %v\n%s", err, tl.Prometheus)
+	}
+}

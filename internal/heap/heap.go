@@ -181,11 +181,35 @@ func (h *Heap) Insert(sb *superblock.Superblock) {
 
 // Remove detaches a superblock from the heap, releasing ownership of its
 // statistics. The caller becomes responsible for the superblock.
+//
+// The departing superblock takes its remote-pending blocks with it (Insert
+// folds them into the receiving heap's hint), so they are subtracted from
+// this heap's hint here. Without the subtraction the source heap keeps
+// counting bytes it can never drain, which makes InvariantViolatedDiscounted
+// report spurious violations and TakeSuper run wasted full-heap drain sweeps
+// until the next DrainAll resets the hint.
 func (h *Heap) Remove(sb *superblock.Superblock) {
 	h.classes[sb.Class()].groups[sb.Group].remove(sb)
 	h.a -= int64(h.sbSize)
 	h.u -= int64(sb.BytesInUse())
 	h.nSuper--
+	h.dropPendingHint(sb.RemotePendingBytes())
+}
+
+// dropPendingHint lowers the pending-remote-free hint by bytes, clamping at
+// zero: the hint is racy (pushes land without the heap lock), so a stale
+// read could otherwise drive it negative and mask genuinely pending bytes.
+func (h *Heap) dropPendingHint(bytes int64) {
+	for bytes > 0 {
+		cur := h.pending.Load()
+		next := cur - bytes
+		if next < 0 {
+			next = 0
+		}
+		if h.pending.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // regroup moves sb to its correct fullness group after an alloc or free.
@@ -324,9 +348,13 @@ func (h *Heap) PendingBytes() int64 {
 // heap. A fully drained superblock is the right victim whenever one
 // exists.
 func (h *Heap) FindEvictable(e env.Env) *superblock.Superblock {
+	// Cost discipline (see internal/env): one OpListScan per list head
+	// consulted plus one per superblock visited, so long group-0 lists
+	// cost what they cost instead of a flat per-class charge.
 	for c := range h.classes {
 		e.Charge(env.OpListScan, 1)
 		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			e.Charge(env.OpListScan, 1)
 			if sb.Empty() {
 				return sb
 			}
@@ -336,6 +364,7 @@ func (h *Heap) FindEvictable(e env.Env) *superblock.Superblock {
 		for c := range h.classes {
 			e.Charge(env.OpListScan, 1)
 			for sb := h.classes[c].groups[g].head; sb != nil; sb = sb.Next {
+				e.Charge(env.OpListScan, 1)
 				if sb.AtLeastEmpty(h.fEmpty) {
 					return sb
 				}
@@ -381,10 +410,12 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 			return sb
 		}
 	}
-	// Recycle a completely empty superblock from another class.
+	// Recycle a completely empty superblock from another class. As in
+	// FindEvictable, the scan charges per node visited, not per class.
 	for c := range h.classes {
 		e.Charge(env.OpListScan, 1)
 		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			e.Charge(env.OpListScan, 1)
 			if sb.Empty() {
 				h.Remove(sb)
 				sb.Reinit(class, blockSize)
@@ -412,6 +443,63 @@ func (h *Heap) AllFull() bool {
 	return full
 }
 
+// ClassOccupancy is one size class's occupancy within a heap: superblock
+// count, bytes in use, and the fullness-group histogram. Groups[NumGroups]
+// is the completely-full group.
+type ClassOccupancy struct {
+	Class       int
+	BlockSize   int
+	Superblocks int
+	InUseBytes  int64
+	Groups      [NumGroups + 1]int
+}
+
+// Occupancy is a heap's occupancy at one instant — the paper's u(i)/a(i)
+// plus structural detail. The caller must hold the heap lock.
+type Occupancy struct {
+	U, A         int64
+	Superblocks  int
+	PendingBytes int64
+	Groups       [NumGroups + 1]int
+	// Classes holds per-class detail for classes with at least one
+	// superblock; nil when detail was not requested.
+	Classes []ClassOccupancy
+}
+
+// SampleOccupancy snapshots the heap's occupancy. With detail it also breaks
+// the histogram down per size class. The caller must hold the heap lock; the
+// walk only reads list heads and per-superblock counters, so it is cheap
+// enough to run from a sampler under load.
+func (h *Heap) SampleOccupancy(detail bool) Occupancy {
+	occ := Occupancy{
+		U:            h.u,
+		A:            h.a,
+		Superblocks:  h.nSuper,
+		PendingBytes: h.pending.Load(),
+	}
+	for c := range h.classes {
+		var cls ClassOccupancy
+		for g := 0; g <= fullGroup; g++ {
+			for sb := h.classes[c].groups[g].head; sb != nil; sb = sb.Next {
+				occ.Groups[g]++
+				if detail {
+					cls.Groups[g]++
+					cls.Superblocks++
+					cls.InUseBytes += int64(sb.BytesInUse())
+					if cls.BlockSize == 0 {
+						cls.Class = c
+						cls.BlockSize = sb.BlockSize()
+					}
+				}
+			}
+		}
+		if detail && cls.Superblocks > 0 {
+			occ.Classes = append(occ.Classes, cls)
+		}
+	}
+	return occ
+}
+
 // forEach visits every superblock the heap holds, in class/group order.
 func (h *Heap) forEach(fn func(sb *superblock.Superblock) error) error {
 	for c := range h.classes {
@@ -430,6 +518,18 @@ func (h *Heap) forEach(fn func(sb *superblock.Superblock) error) error {
 // accounting against the superblocks' own counters. The heap must be
 // quiescent.
 func (h *Heap) CheckIntegrity() error {
+	return h.checkIntegrity(false)
+}
+
+// CheckIntegrityOnline is CheckIntegrity for a heap whose lock the caller
+// holds while other threads keep allocating elsewhere. All heap state is
+// consistent under the lock; the only concession to concurrency is using the
+// superblocks' online check, which tolerates in-flight remote-free pushes.
+func (h *Heap) CheckIntegrityOnline() error {
+	return h.checkIntegrity(true)
+}
+
+func (h *Heap) checkIntegrity(online bool) error {
 	var u, a int64
 	n := 0
 	err := h.forEach(func(sb *superblock.Superblock) error {
@@ -440,8 +540,14 @@ func (h *Heap) CheckIntegrity() error {
 			return fmt.Errorf("heap %d: superblock %#x in group %d, want %d (fullness %v)",
 				h.ID, sb.Base(), sb.Group, want, sb.Fullness())
 		}
-		if err := sb.CheckIntegrity(); err != nil {
-			return fmt.Errorf("heap %d: %w", h.ID, err)
+		var serr error
+		if online {
+			serr = sb.CheckIntegrityOnline()
+		} else {
+			serr = sb.CheckIntegrity()
+		}
+		if serr != nil {
+			return fmt.Errorf("heap %d: %w", h.ID, serr)
 		}
 		u += int64(sb.BytesInUse())
 		a += int64(h.sbSize)

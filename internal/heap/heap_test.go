@@ -464,3 +464,82 @@ func TestTakeSuperDrainsFirst(t *testing.T) {
 		t.Fatalf("class after Reinit = %d", got.Class())
 	}
 }
+
+// --- Pending-hint conservation across superblock migration ---
+
+// TestRemoveDropsPendingHint pins the eviction half of hint conservation:
+// when a superblock with pending remote frees leaves a heap, the old owner's
+// hint must shed exactly that superblock's share — before the fix Remove
+// left it behind, permanently inflating the hint and triggering pointless
+// drain sweeps on every subsequent operation.
+func TestRemoveDropsPendingHint(t *testing.T) {
+	space := vm.New()
+	src := newHeap(1)
+	dst := newHeap(2)
+	sb := newSuper(space, 0)
+	other := newSuper(space, 0)
+	bs := int64(sb.BlockSize())
+	take := func(s *superblock.Superblock, n int) []alloc.Ptr {
+		ps := make([]alloc.Ptr, n)
+		for i := range ps {
+			ps[i], _ = s.AllocBlock(e)
+		}
+		return ps
+	}
+	sbPtrs, otherPtrs := take(sb, 3), take(other, 2)
+	src.Insert(sb)
+	src.Insert(other)
+	for _, p := range sbPtrs {
+		sb.RemoteFree(e, p)
+	}
+	for _, p := range otherPtrs {
+		other.RemoteFree(e, p)
+	}
+	src.NoteRemotePush(5 * bs)
+	if got := src.PendingHintBytes(); got != 5*bs {
+		t.Fatalf("src hint = %d, want %d", got, 5*bs)
+	}
+	src.Remove(sb)
+	if got := src.PendingHintBytes(); got != 2*bs {
+		t.Fatalf("src hint after Remove = %d, want only other's %d", got, 2*bs)
+	}
+	dst.Insert(sb)
+	// Conservation: the migrated superblock's 3 blocks moved with it.
+	if got := dst.PendingHintBytes(); got != 3*bs {
+		t.Fatalf("dst hint = %d, want %d", got, 3*bs)
+	}
+	if total := src.PendingHintBytes() + dst.PendingHintBytes(); total != 5*bs {
+		t.Fatalf("hint not conserved across migration: %d, want %d", total, 5*bs)
+	}
+	if n := dst.DrainAll(e); n != 3 {
+		t.Fatalf("DrainAll on dst = %d, want 3", n)
+	}
+	if n := src.DrainAll(e); n != 2 {
+		t.Fatalf("DrainAll on src = %d, want 2", n)
+	}
+	if src.PendingHintBytes() != 0 || dst.PendingHintBytes() != 0 {
+		t.Fatalf("hints after drains: src=%d dst=%d", src.PendingHintBytes(), dst.PendingHintBytes())
+	}
+	if err := src.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveClampsPendingHint: the hint is racy — a pusher may have CASed a
+// block onto the remote stack before its NoteRemotePush lands. Remove must
+// clamp at zero rather than drive the hint negative.
+func TestRemoveClampsPendingHint(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	sb := newSuper(space, 0)
+	p, _ := sb.AllocBlock(e)
+	h.Insert(sb)
+	sb.RemoteFree(e, p) // pushed, but NoteRemotePush hasn't landed yet
+	h.Remove(sb)
+	if got := h.PendingHintBytes(); got != 0 {
+		t.Fatalf("hint = %d after Remove, want clamped 0", got)
+	}
+}

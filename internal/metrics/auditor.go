@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Auditor runs an integrity check repeatedly — on demand (RunOnce), or at a
+// configurable interval on a background goroutine — and records pass/fail
+// counts plus the first failure. It turns latent accounting drift into an
+// immediate, attributable error under load instead of a mystery at the end
+// of a run.
+//
+// The check callback decides what is audited; core.(*Hoard).Audit is the
+// under-load-safe variant (per-heap locked structural checks plus the
+// emptiness-invariant check), while a quiescent test can pass a full
+// CheckIntegrity.
+type Auditor struct {
+	check func() error
+
+	passes   atomic.Int64
+	failures atomic.Int64
+
+	mu       sync.Mutex
+	firstErr error
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAuditor creates an auditor over the given check.
+func NewAuditor(check func() error) *Auditor {
+	if check == nil {
+		panic("metrics: nil auditor check")
+	}
+	return &Auditor{check: check}
+}
+
+// RunOnce runs the check immediately, records the outcome, and returns the
+// check's error.
+func (a *Auditor) RunOnce() error {
+	err := a.check()
+	if err == nil {
+		a.passes.Add(1)
+		return nil
+	}
+	a.failures.Add(1)
+	a.mu.Lock()
+	if a.firstErr == nil {
+		a.firstErr = err
+	}
+	a.mu.Unlock()
+	return err
+}
+
+// Start runs the check every interval on a background goroutine until Stop.
+// Failures do not stop the loop (they accumulate in Failures and Err). It
+// panics if the auditor is already running.
+func (a *Auditor) Start(interval time.Duration) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("metrics: auditor interval %v", interval))
+	}
+	a.mu.Lock()
+	if a.stop != nil {
+		a.mu.Unlock()
+		panic("metrics: auditor already running")
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				a.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop (no-op if not running), runs one final
+// check, and returns the first error observed over the auditor's lifetime.
+func (a *Auditor) Stop() error {
+	a.mu.Lock()
+	stop, done := a.stop, a.done
+	a.stop, a.done = nil, nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	a.RunOnce()
+	return a.Err()
+}
+
+// Passes returns the number of successful checks so far.
+func (a *Auditor) Passes() int64 { return a.passes.Load() }
+
+// Failures returns the number of failed checks so far.
+func (a *Auditor) Failures() int64 { return a.failures.Load() }
+
+// Err returns the first check failure, or nil.
+func (a *Auditor) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.firstErr
+}

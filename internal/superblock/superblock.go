@@ -423,6 +423,21 @@ func (sb *Superblock) testAndClearFree(idx int) bool {
 // CheckIntegrity validates the free list, bitmap, and counters. The
 // superblock must be quiescent.
 func (sb *Superblock) CheckIntegrity() error {
+	return sb.checkIntegrity(false)
+}
+
+// CheckIntegrityOnline is CheckIntegrity for a superblock whose owner heap's
+// lock is held but whose remote-free stack may be receiving concurrent
+// pushes. Everything owner-side (free list, bitmap, counters) is consistent
+// under the heap lock, and the remote chain is walked from a snapshot head
+// whose nodes are immutable once published — only the remote-count
+// comparison is skipped, because RemoteFree publishes the node first and
+// bumps the counter after, so the two legitimately disagree mid-push.
+func (sb *Superblock) CheckIntegrityOnline() error {
+	return sb.checkIntegrity(true)
+}
+
+func (sb *Superblock) checkIntegrity(online bool) error {
 	if sb.span == nil {
 		return fmt.Errorf("superblock: released but still reachable")
 	}
@@ -484,7 +499,7 @@ func (sb *Superblock) CheckIntegrity() error {
 		}
 		cur = int(binary.LittleEndian.Uint32(sb.span.Bytes(idx*sb.blockSize, 4)))
 	}
-	if got := int(sb.remoteCount.Load()); got != remote {
+	if got := int(sb.remoteCount.Load()); !online && got != remote {
 		return fmt.Errorf("superblock %#x: remote stack holds %d blocks, counter says %d", sb.Base(), remote, got)
 	}
 	if remote > sb.inUse {

@@ -26,6 +26,7 @@ package tcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/env"
@@ -59,6 +60,18 @@ type Allocator struct {
 type threadState struct {
 	inner *alloc.Thread
 	mags  [][]alloc.Ptr // per class
+
+	// scratch is the refill staging buffer, reused across underflows so a
+	// steady-state refill performs no Go allocation.
+	scratch []alloc.Ptr
+
+	// magBytes is the sampler-visible magazine-fill gauge. Only the owning
+	// thread writes it, and only at transfer boundaries (refill, flush,
+	// thread retirement) — a per-op atomic update would tax every cached
+	// push and pop — so a concurrent sampler sees a value that lags the
+	// true fill by at most half a magazine per class. CachedBytes is the
+	// exact quiescent equivalent.
+	magBytes atomic.Int64
 
 	// retired is set by FlushThread. A retired thread's handle stays
 	// usable — tcmalloc tolerates stray frees after thread exit — but
@@ -151,19 +164,40 @@ func (a *Allocator) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 func (a *Allocator) refill(ts *threadState, class int) {
 	blockSize := a.classes.Size(class)
 	n := a.cfg.Capacity / 2
-	buf := make([]alloc.Ptr, n)
+	if cap(ts.scratch) < n {
+		ts.scratch = make([]alloc.Ptr, n)
+	}
+	buf := ts.scratch[:n]
 	got := alloc.MallocBatch(a.inner, ts.inner, blockSize, n, buf)
-	var bad []alloc.Ptr
+	// Mismatched blocks (inner size classes that don't round-trip through
+	// ours) are compacted to the front of buf and batch-freed; cacheable
+	// ones go on the magazine. No allocation either way.
+	bad := 0
 	for _, p := range buf[:got] {
 		if a.inner.UsableSize(p) != blockSize {
-			bad = append(bad, p)
+			buf[bad] = p
+			bad++
 			continue
 		}
 		ts.mags[class] = append(ts.mags[class], p)
 	}
-	if len(bad) > 0 {
-		alloc.FreeBatch(a.inner, ts.inner, bad)
+	if bad > 0 {
+		alloc.FreeBatch(a.inner, ts.inner, buf[:bad])
 	}
+	a.publishMagBytes(ts)
+}
+
+// publishMagBytes recomputes ts's magazine fill from the magazine lengths
+// and publishes it for concurrent samplers. Called only at transfer
+// boundaries, which keeps the malloc/free fast paths free of extra atomics;
+// between boundaries the published value is stale by whatever the fast
+// paths have pushed or popped since.
+func (a *Allocator) publishMagBytes(ts *threadState) {
+	var total int64
+	for class, mag := range ts.mags {
+		total += int64(len(mag)) * int64(a.classes.Size(class))
+	}
+	ts.magBytes.Store(total)
 }
 
 // Free implements alloc.Allocator. The block lands in the *freeing*
@@ -199,6 +233,7 @@ func (a *Allocator) flush(ts *threadState, class int) {
 	keep := a.cfg.Capacity / 2
 	alloc.FreeBatch(a.inner, ts.inner, mag[keep:])
 	ts.mags[class] = mag[:keep]
+	a.publishMagBytes(ts)
 }
 
 // FlushThread batch-frees every magazine of t back to the inner allocator
@@ -215,6 +250,7 @@ func (a *Allocator) FlushThread(t *alloc.Thread) {
 		}
 		ts.mags[class] = nil
 	}
+	ts.magBytes.Store(0)
 	ts.retired = true
 	a.mu.Lock()
 	for i, s := range a.threads {
@@ -249,6 +285,21 @@ func (a *Allocator) CachedBytes() int64 {
 		for class, mag := range ts.mags {
 			total += int64(len(mag)) * int64(a.classes.Size(class))
 		}
+	}
+	return total
+}
+
+// MagazineBytes is the metrics-sampler view of magazine fill: a sum of
+// every registered thread's magazine-byte gauge, safe to read while owner
+// threads keep pushing and popping. Each gauge is published at transfer
+// boundaries only, so the sum lags true fill by at most half a magazine per
+// class per thread; CachedBytes is the exact (quiescent) equivalent.
+func (a *Allocator) MagazineBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total int64
+	for _, ts := range a.threads {
+		total += ts.magBytes.Load()
 	}
 	return total
 }

@@ -1,0 +1,181 @@
+package hoard
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hoardgo/internal/core"
+	"hoardgo/internal/debugalloc"
+	"hoardgo/internal/env"
+	"hoardgo/internal/metrics"
+	"hoardgo/internal/tcache"
+)
+
+// This file is the public face of the observability layer (internal/metrics):
+// Prometheus/JSON export of the allocator's counters, per-heap occupancy, and
+// lock contention, plus the on-demand and background invariant audit. See
+// DESIGN.md §9.
+
+// unwrap peels the debug and thread-cache layers off the allocator stack and
+// returns the Hoard core, or nil for other policies.
+func (a *Allocator) unwrap() *core.Hoard {
+	impl := a.impl
+	for {
+		switch v := impl.(type) {
+		case *core.Hoard:
+			return v
+		case *debugalloc.Allocator:
+			impl = v.Inner()
+		case *tcache.Allocator:
+			impl = v.Inner()
+		default:
+			return nil
+		}
+	}
+}
+
+// tcacheLayer returns the thread-cache layer of the allocator stack, or nil.
+func (a *Allocator) tcacheLayer() *tcache.Allocator {
+	impl := a.impl
+	for {
+		switch v := impl.(type) {
+		case *tcache.Allocator:
+			return v
+		case *debugalloc.Allocator:
+			impl = v.Inner()
+		default:
+			return nil
+		}
+	}
+}
+
+// sampleMetrics builds one observation of the allocator: counters for every
+// policy, per-heap occupancy for Hoard, magazine fill when a thread cache is
+// layered, and lock counters when Config.Metrics was set. Safe to call while
+// other threads allocate; cross-heap sums are then approximate.
+func (a *Allocator) sampleMetrics() metrics.Snapshot {
+	s := metrics.NewSnapshot(a.impl.Name())
+	st := a.Stats()
+	s.Counters["mallocs_total"] = st.Mallocs
+	s.Counters["frees_total"] = st.Frees
+	s.Counters["live_bytes"] = st.LiveBytes
+	s.Counters["peak_live_bytes"] = st.PeakLiveBytes
+	s.Counters["footprint_bytes"] = st.FootprintBytes
+	s.Counters["peak_footprint_bytes"] = st.PeakFootprintBytes
+	s.Counters["superblock_moves_total"] = st.SuperblockMoves
+	s.Counters["remote_frees_total"] = st.RemoteFrees
+	s.Counters["remote_fast_frees_total"] = st.RemoteFastFrees
+	s.Counters["remote_drains_total"] = st.RemoteDrains
+	s.Counters["batch_refills_total"] = st.BatchRefills
+	s.Counters["batch_flushes_total"] = st.BatchFlushes
+	s.Counters["batched_blocks_total"] = st.BatchedBlocks
+	if h := a.unwrap(); h != nil {
+		for _, occ := range h.SampleHeaps(&env.RealEnv{ID: -1}, true) {
+			hs := metrics.HeapSample{
+				U:            occ.U,
+				A:            occ.A,
+				Superblocks:  occ.Superblocks,
+				PendingBytes: occ.PendingBytes,
+				Groups:       occ.Groups[:],
+			}
+			for _, c := range occ.Classes {
+				hs.Classes = append(hs.Classes, metrics.ClassSample{
+					Class:       c.Class,
+					BlockSize:   c.BlockSize,
+					Superblocks: c.Superblocks,
+					InUseBytes:  c.InUseBytes,
+					Groups:      c.Groups[:],
+				})
+			}
+			hs.ID = len(s.Heaps)
+			s.Heaps = append(s.Heaps, hs)
+		}
+	}
+	if tc := a.tcacheLayer(); tc != nil {
+		s.MagazineBytes = tc.MagazineBytes()
+	}
+	if a.reg != nil {
+		s.Locks = a.reg.LockStats()
+	}
+	return s
+}
+
+// WriteMetrics writes the allocator's current state in the Prometheus text
+// exposition format: operation counters and live/footprint gauges for every
+// policy, per-heap occupancy (u, a, superblocks, fullness groups,
+// remote-pending bytes) for Hoard, magazine fill for thread-cached stacks,
+// and per-lock acquisition/contention/wait/hold counters when the allocator
+// was built with Config.Metrics. Safe under load.
+func (a *Allocator) WriteMetrics(w io.Writer) error {
+	return a.sampleMetrics().WritePrometheus(w)
+}
+
+// WriteMetricsJSON writes the same observation as WriteMetrics as one
+// indented JSON document, including the per-class occupancy detail the
+// Prometheus form aggregates away.
+func (a *Allocator) WriteMetricsJSON(w io.Writer) error {
+	return a.sampleMetrics().WriteJSON(w)
+}
+
+// LockStats returns per-lock acquisition/contention counters, or nil unless
+// the allocator was built with Config.Metrics. The slice is sorted
+// worst-contended first.
+func (a *Allocator) LockStats() []metrics.LockStats {
+	if a.reg == nil {
+		return nil
+	}
+	stats := a.reg.LockStats()
+	metrics.SortLockStats(stats)
+	return stats
+}
+
+// Audit checks structural integrity and the emptiness invariant while the
+// allocator remains in service, taking each heap's lock briefly in turn. It
+// is the under-load subset of CheckIntegrity (which needs quiescence); for
+// non-Hoard policies, which expose no online check, it reports nil.
+func (a *Allocator) Audit() error {
+	h := a.unwrap()
+	if h == nil {
+		return nil
+	}
+	return h.Audit(&env.RealEnv{ID: -1})
+}
+
+// StartAuditor runs Audit every interval on a background goroutine until
+// StopAuditor. It errors if an auditor is already running or the interval is
+// not positive.
+func (a *Allocator) StartAuditor(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("hoard: auditor interval %v", interval)
+	}
+	a.auditorMu.Lock()
+	defer a.auditorMu.Unlock()
+	if a.auditor != nil {
+		return fmt.Errorf("hoard: auditor already running")
+	}
+	a.auditor = metrics.NewAuditor(a.Audit)
+	a.auditor.Start(interval)
+	return nil
+}
+
+// StopAuditor halts the background auditor, runs one final audit, and
+// reports how many checks passed and failed plus the first violation seen
+// (nil when every check passed). With no auditor running it returns zeros.
+func (a *Allocator) StopAuditor() (passes, failures int64, err error) {
+	a.auditorMu.Lock()
+	aud := a.auditor
+	a.auditor = nil
+	a.auditorMu.Unlock()
+	if aud == nil {
+		return 0, 0, nil
+	}
+	err = aud.Stop()
+	return aud.Passes(), aud.Failures(), err
+}
+
+// LintMetrics validates Prometheus exposition text (as produced by
+// WriteMetrics) and returns the first format problem, or nil. Exported so
+// the metrics-smoke CI check can lint benchmark artifacts without importing
+// internal packages.
+func LintMetrics(text string) error { return metrics.LintPrometheus(text) }

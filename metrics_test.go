@@ -1,0 +1,223 @@
+package hoard
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWriteMetricsPrometheus(t *testing.T) {
+	a := MustNew(Config{Procs: 2, Metrics: true, ThreadCacheCapacity: 16})
+	th := a.NewThread()
+	var ps []Ptr
+	for i := 0; i < 200; i++ {
+		ps = append(ps, th.Malloc(64+i%512))
+	}
+	for _, p := range ps[:100] {
+		th.Free(p)
+	}
+	var b strings.Builder
+	if err := a.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintMetrics(out); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"hoard_mallocs_total",
+		"hoard_live_bytes",
+		"hoard_lock_acquires_total",
+		"hoard_heap_in_use_bytes",
+		"hoard_heap_group_superblocks",
+		"hoard_tcache_magazine_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing family %q in:\n%s", want, out)
+		}
+	}
+	// The churn above took heap locks: the instrumented factory must have
+	// seen acquisitions.
+	stats := a.LockStats()
+	if len(stats) == 0 {
+		t.Fatal("no instrumented locks with Metrics: true")
+	}
+	var acquires int64
+	for _, st := range stats {
+		acquires += st.Acquires
+	}
+	if acquires == 0 {
+		t.Fatal("no lock acquisitions recorded across a malloc/free churn")
+	}
+	for _, p := range ps[100:] {
+		th.Free(p)
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	a := MustNew(Config{Procs: 2, Metrics: true})
+	th := a.NewThread()
+	p := th.Malloc(100)
+	var b strings.Builder
+	if err := a.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Allocator string           `json:"allocator"`
+		Counters  map[string]int64 `json:"counters"`
+		Heaps     []struct {
+			A      int64 `json:"a"`
+			Groups []int `json:"groups"`
+		} `json:"heaps"`
+		Locks []struct {
+			Name     string `json:"name"`
+			Acquires int64  `json:"acquires"`
+		} `json:"locks"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Allocator != "hoard" {
+		t.Fatalf("allocator %q", doc.Allocator)
+	}
+	if doc.Counters["mallocs_total"] != 1 {
+		t.Fatalf("mallocs_total = %d", doc.Counters["mallocs_total"])
+	}
+	if len(doc.Heaps) == 0 || len(doc.Locks) == 0 {
+		t.Fatalf("missing heaps (%d) or locks (%d)", len(doc.Heaps), len(doc.Locks))
+	}
+	th.Free(p)
+}
+
+func TestMetricsOffHasNoLockStats(t *testing.T) {
+	a := MustNew(Config{Procs: 2})
+	th := a.NewThread()
+	th.Free(th.Malloc(64))
+	if got := a.LockStats(); got != nil {
+		t.Fatalf("LockStats = %v without Config.Metrics", got)
+	}
+	// Export still works — it just has no lock families.
+	var b strings.Builder
+	if err := a.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintMetrics(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "hoard_lock_") {
+		t.Fatal("lock families exported without instrumentation")
+	}
+}
+
+func TestWriteMetricsNonHoardPolicy(t *testing.T) {
+	a := MustNew(Config{Policy: PolicySerial, Metrics: true})
+	th := a.NewThread()
+	p := th.Malloc(64)
+	var b strings.Builder
+	if err := a.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintMetrics(b.String()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, b.String())
+	}
+	if strings.Contains(b.String(), "hoard_heap_in_use_bytes") {
+		t.Fatal("serial policy exported Hoard heap occupancy")
+	}
+	if err := a.Audit(); err != nil {
+		t.Fatalf("Audit on serial policy: %v", err)
+	}
+	th.Free(p)
+}
+
+func TestAuditUnderLoad(t *testing.T) {
+	a := MustNew(Config{Procs: 4, Metrics: true})
+	if err := a.Audit(); err != nil {
+		t.Fatalf("audit of idle allocator: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := a.NewThread()
+			var ps []Ptr
+			for {
+				select {
+				case <-stop:
+					for _, p := range ps {
+						th.Free(p)
+					}
+					return
+				default:
+				}
+				ps = append(ps, th.Malloc(32+len(ps)%900))
+				if len(ps) > 400 {
+					for _, p := range ps {
+						th.Free(p)
+					}
+					ps = ps[:0]
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := a.Audit(); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("audit %d under load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundAuditor(t *testing.T) {
+	a := MustNew(Config{Procs: 2})
+	if err := a.StartAuditor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartAuditor(time.Millisecond); err == nil {
+		t.Fatal("second StartAuditor accepted")
+	}
+	th := a.NewThread()
+	var ps []Ptr
+	for i := 0; i < 2000; i++ {
+		ps = append(ps, th.Malloc(16+i%300))
+		if len(ps) > 100 {
+			for _, p := range ps {
+				th.Free(p)
+			}
+			ps = ps[:0]
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	passes, failures, err := a.StopAuditor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d audit failures", failures)
+	}
+	if passes == 0 {
+		t.Fatal("auditor never ran")
+	}
+	// Stopped auditor: StopAuditor again is a zero no-op, restart works.
+	if p2, f2, err2 := a.StopAuditor(); p2 != 0 || f2 != 0 || err2 != nil {
+		t.Fatalf("second StopAuditor = %d, %d, %v", p2, f2, err2)
+	}
+	if err := a.StartAuditor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.StopAuditor(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		th.Free(p)
+	}
+}
