@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench metrics-smoke
+.PHONY: check build test race vet bench metrics-smoke footprint-smoke
 
 # check is the tier-1 gate: vet, build, and the full suite under the race
 # detector.
@@ -35,3 +35,13 @@ metrics-smoke:
 	$(GO) run ./cmd/hoardbench -metrics /tmp/hoardgo-metrics-timeline.json
 	$(GO) test -run 'TestCollectMetricsTimeline' ./internal/experiments/
 	$(GO) test -run 'TestWriteMetrics|TestLint' . ./internal/metrics/
+
+# footprint-smoke exercises the page-level reclamation subsystem end to end:
+# the scavenger footprint grid (workloads x release modes) regenerates its
+# artifact with the steady-state ratios and the batch-lock throughput guard,
+# and the decommit/scavenge tests run across every layer.
+footprint-smoke:
+	$(GO) run ./cmd/hoardbench -footprint /tmp/hoardgo-footprint.json
+	$(GO) test -run 'TestFootprint' ./internal/experiments/
+	$(GO) test -race -run 'TestReleaseMemory|TestBackgroundScavenger|TestScavengerUnderProdConsChurn' .
+	$(GO) test -run 'TestDecommit|TestScavenge' ./internal/vm/ ./internal/superblock/ ./internal/heap/ ./internal/core/

@@ -48,6 +48,66 @@ func writeArtifact(path string, opts experiments.Options, scale string, progress
 	return nil
 }
 
+// footprintArtifact is the committed scavenger record (BENCH_PR5.json): the
+// workload x release-mode footprint grid, the steady-state committed ratios
+// behind the reclamation PR's acceptance criterion, and the batch-lock
+// measurement re-run as the throughput guard. Reproducible with
+// `hoardbench -footprint <path>`.
+type footprintArtifact struct {
+	Schema  string                       `json:"schema"`
+	Scale   string                       `json:"scale"`
+	Entries []experiments.FootprintEntry `json:"entries"`
+	// SteadyRatios maps "workload/mode" to that mode's steady-state
+	// committed bytes over the retain-everything baseline (< 1 means the
+	// policy shrank the resting footprint).
+	SteadyRatios map[string]float64 `json:"steady_ratios"`
+	// BatchLocks re-runs the batching PR's lock measurement with the
+	// scavenger code in the tree — the ops-stay-within-noise guard.
+	BatchLocks experiments.BatchLockResult `json:"batch_locks"`
+}
+
+// writeFootprint runs the footprint grid and writes the JSON record.
+func writeFootprint(path string, opts experiments.Options, scale string, progress func(string, int)) error {
+	art := footprintArtifact{
+		Schema:       "hoardgo-bench/pr5-scavenge/v1",
+		Scale:        scale,
+		Entries:      experiments.FootprintResults(opts, progress),
+		SteadyRatios: map[string]float64{},
+	}
+	off := map[string]int64{}
+	for _, e := range art.Entries {
+		if e.Mode == "off" {
+			off[e.Workload] = e.SteadyCommitted
+		}
+	}
+	for _, e := range art.Entries {
+		if base := off[e.Workload]; base > 0 && e.Mode != "off" {
+			art.SteadyRatios[e.Workload+"/"+e.Mode] = float64(e.SteadyCommitted) / float64(base)
+		}
+	}
+	if progress != nil {
+		progress("batch-locks", 1)
+	}
+	art.BatchLocks = experiments.MeasureBatchLocks(32, 200)
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n", path)
+	for _, e := range art.Entries {
+		fmt.Printf("  %-10s %-8s steady %8d B  (peak %d B, %d scavenges)\n",
+			e.Workload, e.Mode, e.SteadyCommitted, e.PeakCommitted, e.ScavengePasses)
+	}
+	for k, v := range art.SteadyRatios {
+		fmt.Printf("  ratio %-20s %.2f\n", k, v)
+	}
+	return nil
+}
+
 // writeMetricsTimeline runs the instrumented churn scenario behind -metrics
 // and writes the timeline artifact. Any invariant-audit failure during the
 // run is a hard error.

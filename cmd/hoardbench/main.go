@@ -8,8 +8,9 @@
 //	hoardbench -metrics timeline.json     # instrumented churn: occupancy/lock timeline + audit record
 //
 // Experiment ids: threadtest shbench larson active-false passive-false bem
-// barneshut (figures); catalog frag uniproc blowup (tables); ablate-f
-// ablate-s ablate-k ablate-heaps coherence cost-sensitivity (ablations).
+// barneshut (figures); catalog frag uniproc blowup footprint (tables);
+// ablate-f ablate-s ablate-k ablate-heaps coherence cost-sensitivity
+// (ablations).
 package main
 
 import (
@@ -40,6 +41,7 @@ func run() error {
 		format    = flag.String("format", "text", "output format: text, csv, or md")
 		artifact  = flag.String("artifact", "", "write the benchmark artifact (batch lock counts + key sim runs) to this JSON file and exit")
 		metricsTo = flag.String("metrics", "", "run the instrumented churn scenario and write the metrics timeline (occupancy samples, lock counters, audit record, Prometheus scrape) to this JSON file and exit")
+		footTo    = flag.String("footprint", "", "run the scavenger footprint grid (workloads x release modes) and write the artifact (steady-state ratios + batch-lock guard) to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -81,6 +83,9 @@ func run() error {
 	if *metricsTo != "" {
 		return writeMetricsTimeline(*metricsTo, scale)
 	}
+	if *footTo != "" {
+		return writeFootprint(*footTo, opts, *scaleFlag, progress)
+	}
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = allIDs()
@@ -103,7 +108,7 @@ func allIDs() []string {
 		ids = append(ids, f.ID)
 	}
 	return append(ids,
-		"frag", "uniproc", "blowup", "blowup-shift",
+		"frag", "uniproc", "blowup", "blowup-shift", "footprint",
 		"ablate-f", "ablate-s", "ablate-k", "ablate-heaps",
 		"ablate-release", "ablate-batch", "tcache", "coherence", "contention", "cost-sensitivity")
 }
@@ -120,6 +125,7 @@ func runOne(id string, opts experiments.Options, of experiments.OutputFormat, pr
 		"uniproc":          experiments.Uniproc,
 		"blowup":           experiments.Blowup,
 		"blowup-shift":     experiments.BlowupShift,
+		"footprint":        experiments.Footprint,
 		"ablate-f":         experiments.AblateF,
 		"ablate-s":         experiments.AblateS,
 		"ablate-k":         experiments.AblateK,

@@ -9,6 +9,7 @@
 //	hoardsim [-bench threadtest] [-alloc hoard] [-procs 8] [-scale quick|full] [-csv]
 //	hoardsim -bench larson -procs 8 -compare     # all allocators, one table
 //	hoardsim -bench larson -metrics out.prom     # instrument locks, dump a Prometheus scrape
+//	hoardsim -bench larson -scavenge             # decommit empties post-run, report footprint drop
 package main
 
 import (
@@ -41,6 +42,7 @@ func run() error {
 		csvFlag   = flag.Bool("csv", false, "emit one CSV line: bench,alloc,procs,virtual_ns,ops,ops_per_sec,max_live,peak_heap,remote_transfers")
 		compare   = flag.Bool("compare", false, "run every allocator at this point and print a comparison table")
 		metricsTo = flag.String("metrics", "", "instrument every simulated lock and write a post-run Prometheus scrape (counters, occupancy, lock stats) to this file")
+		scavFlag  = flag.Bool("scavenge", false, "after the run, forcibly decommit every empty global-heap superblock (hoard only) and report the footprint before/after")
 	)
 	flag.Parse()
 
@@ -88,6 +90,16 @@ func run() error {
 		h = workload.NewSim(*allocFlag, *procsFlag, opts.Cost)
 	}
 	res := def.Run(scale)(h, *procsFlag)
+	var scavBefore, scavReleased, scavAfter int64
+	if *scavFlag {
+		hoard, ok := h.Allocator().(*core.Hoard)
+		if !ok {
+			return fmt.Errorf("-scavenge: allocator %q has no global heap to scavenge", *allocFlag)
+		}
+		scavBefore = hoard.Space().Committed()
+		scavReleased = hoard.ScavengeQuiescent()
+		scavAfter = hoard.Space().Committed()
+	}
 	if reg != nil {
 		if err := writeSimMetrics(*metricsTo, h, res, reg); err != nil {
 			return err
@@ -109,6 +121,10 @@ func run() error {
 	fmt.Printf("ops         %d (%.0f ops/s)\n", res.Ops, res.Throughput())
 	fmt.Printf("max live    %d B\n", res.MaxLive)
 	fmt.Printf("peak heap   %d B (fragmentation %.2f)\n", res.VM.PeakCommitted, res.Fragmentation())
+	if *scavFlag {
+		fmt.Printf("scavenge    released %d B: footprint %d -> %d B (address space still reserved)\n",
+			scavReleased, scavBefore, scavAfter)
+	}
 	st := res.Alloc
 	fmt.Printf("allocator   mallocs=%d frees=%d large=%d sbMoves=%d globalHits=%d osReserves=%d remoteFrees=%d\n",
 		st.Mallocs, st.Frees, st.LargeMallocs, st.SuperblockMoves, st.GlobalHeapHits, st.OSReserves, st.RemoteFrees)
@@ -147,13 +163,22 @@ func writeSimMetrics(path string, h *workload.Harness, res workload.Result, reg 
 	s.Counters["remote_fast_frees_total"] = st.RemoteFastFrees
 	s.Counters["remote_drains_total"] = st.RemoteDrains
 	s.Counters["virtual_ns_total"] = res.ElapsedNS
+	// Live space accounting: the run is over, so these reflect any -scavenge
+	// pass that ran after the result was captured.
+	sp := h.Allocator().Space().Stats()
+	s.Counters["reserved_bytes"] = sp.Reserved
+	s.Counters["decommitted_bytes"] = sp.DecommittedBytes
 	if hoard, ok := h.Allocator().(*core.Hoard); ok {
+		hs := hoard.Stats()
+		s.Counters["scavenge_passes_total"] = hs.ScavengePasses
+		s.Counters["scavenged_bytes_total"] = hs.ScavengedBytes
 		for id, occ := range hoard.SampleHeapsQuiescent(true) {
 			s.Heaps = append(s.Heaps, metrics.HeapSample{
 				ID:           id,
 				U:            occ.U,
 				A:            occ.A,
 				Superblocks:  occ.Superblocks,
+				Decommitted:  occ.Decommitted,
 				PendingBytes: occ.PendingBytes,
 				Groups:       occ.Groups[:],
 			})

@@ -1,0 +1,89 @@
+// Metricsserver is a live Prometheus scrape target: a handful of worker
+// goroutines churn allocations in producer-consumer rounds while the
+// background scavenger trims the global heap, and the allocator's metrics —
+// footprint vs reserved, decommitted bytes, scavenge passes, per-heap
+// occupancy — are served on /metrics for `curl` or a real Prometheus to
+// watch. Point a scraper at it and graph hoard_footprint_bytes against
+// hoard_reserved_bytes to see the scavenger breathe.
+//
+//	go run ./examples/metricsserver -addr :8080 &
+//	watch -n1 'curl -s localhost:8080/metrics | grep -E "footprint|decommitted"'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	hoard "hoardgo"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address for /metrics")
+	workers := flag.Int("workers", 4, "churn goroutines")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = run forever)")
+	flag.Parse()
+
+	a := hoard.MustNew(hoard.Config{
+		Procs:   *workers,
+		Metrics: true,
+		Scavenge: hoard.ScavengeConfig{
+			Enabled:  true,
+			ColdAge:  250 * time.Millisecond,
+			Interval: 50 * time.Millisecond,
+		},
+	})
+
+	http.Handle("/metrics", a.MetricsHandler())
+	go func() { log.Fatal(http.ListenAndServe(*addr, nil)) }()
+	fmt.Printf("serving metrics on http://%s/metrics\n", *addr)
+
+	// Phased churn: each worker builds up a working set, holds it, then
+	// drops it — so the global heap oscillates between loaded and empty and
+	// the scavenger has something to do.
+	stop := make(chan struct{})
+	if *duration > 0 {
+		time.AfterFunc(*duration, func() { close(stop) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.NewThread()
+			ps := make([]hoard.Ptr, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					for _, p := range ps {
+						th.Free(p)
+					}
+					return
+				default:
+				}
+				for i := 0; i < 4096; i++ {
+					p := th.Malloc(64 + i%960)
+					th.Bytes(p, 8)[0] = byte(w)
+					ps = append(ps, p)
+				}
+				time.Sleep(200 * time.Millisecond)
+				for _, p := range ps {
+					th.Free(p)
+				}
+				ps = ps[:0]
+				time.Sleep(800 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := a.StopScavenger()
+	fmt.Printf("scavenger: %d passes, %d bytes released, %d backoffs\n",
+		st.Passes, st.ReleasedBytes, st.Backoffs)
+	s := a.Stats()
+	fmt.Printf("final: footprint %d B, reserved %d B, decommitted %d B\n",
+		s.FootprintBytes, s.ReservedBytes, s.DecommittedBytes)
+}

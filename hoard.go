@@ -41,6 +41,7 @@ import (
 	"hoardgo/internal/metrics"
 	"hoardgo/internal/ownership"
 	"hoardgo/internal/private"
+	"hoardgo/internal/scavenge"
 	"hoardgo/internal/serial"
 	"hoardgo/internal/tcache"
 	"hoardgo/internal/threshold"
@@ -125,6 +126,11 @@ type Config struct {
 	// reads and a few uncontended atomic adds. Occupancy sampling and the
 	// auditor work either way — this flag only controls lock counters.
 	Metrics bool
+
+	// Scavenge configures the background scavenger, which returns the pages
+	// of long-empty superblocks parked on the global heap to the (simulated)
+	// OS. Hoard policy only; see ScavengeConfig. Disabled by default.
+	Scavenge ScavengeConfig
 }
 
 // Allocator is a thread-safe explicit memory allocator.
@@ -140,6 +146,12 @@ type Allocator struct {
 	// StopAuditor).
 	auditorMu sync.Mutex
 	auditor   *metrics.Auditor
+
+	// scavMu guards the background scavenger handle (StartScavenger /
+	// StopScavenger); scavCfg is the internal form of Config.Scavenge.
+	scavMu  sync.Mutex
+	scav    *scavenge.Scavenger
+	scavCfg scavenge.Config
 }
 
 // New builds an allocator from cfg.
@@ -197,7 +209,17 @@ func New(cfg Config) (*Allocator, error) {
 	if cfg.Debug {
 		impl = debugalloc.New(impl, debugalloc.Config{Quarantine: cfg.DebugQuarantine})
 	}
-	return &Allocator{impl: impl, reg: reg}, nil
+	scavCfg := cfg.Scavenge.internal()
+	if err := scavCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("hoard: %w", err)
+	}
+	a := &Allocator{impl: impl, reg: reg, scavCfg: scavCfg}
+	if cfg.Scavenge.Enabled {
+		if err := a.StartScavenger(); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -318,10 +340,20 @@ type Stats struct {
 	// LiveBytes is the usable bytes currently allocated; PeakLiveBytes
 	// its high-water mark.
 	LiveBytes, PeakLiveBytes int64
-	// FootprintBytes is the memory currently held from the (simulated)
-	// OS; PeakFootprintBytes its high-water mark. Footprint over live is
-	// the allocator's fragmentation.
+	// FootprintBytes is the physical memory currently held from the
+	// (simulated) OS — committed bytes; PeakFootprintBytes its high-water
+	// mark. Footprint over live is the allocator's fragmentation.
 	FootprintBytes, PeakFootprintBytes int64
+	// ReservedBytes is the address space currently reserved, decommitted
+	// pages included; PeakReservedBytes its high-water mark. Reserved
+	// minus footprint is exactly DecommittedBytes.
+	ReservedBytes, PeakReservedBytes int64
+	// DecommittedBytes is the bytes currently decommitted by the
+	// scavenger: reserved but returned to the OS, repopulated on demand.
+	DecommittedBytes int64
+	// ScavengeOps counts scavenge passes that released at least one byte
+	// (background and forced); ScavengedBytes the bytes they released.
+	ScavengeOps, ScavengedBytes int64
 	// SuperblockMoves counts Hoard's transfers to/from the global heap.
 	SuperblockMoves int64
 	// RemoteFrees counts frees that crossed heaps.
@@ -353,6 +385,11 @@ func (a *Allocator) Stats() Stats {
 		PeakLiveBytes:      st.PeakLiveBytes,
 		FootprintBytes:     sp.Committed,
 		PeakFootprintBytes: sp.PeakCommitted,
+		ReservedBytes:      sp.Reserved,
+		PeakReservedBytes:  sp.PeakReserved,
+		DecommittedBytes:   sp.DecommittedBytes,
+		ScavengeOps:        st.ScavengePasses,
+		ScavengedBytes:     st.ScavengedBytes,
 		SuperblockMoves:    st.SuperblockMoves,
 		RemoteFrees:        st.RemoteFrees,
 		RemoteFastFrees:    st.RemoteFastFrees,

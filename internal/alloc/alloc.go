@@ -184,6 +184,12 @@ type Stats struct {
 	// BatchedBlocks counts blocks transferred through the native batch
 	// paths, in both directions. Zero when only the per-block fallback ran.
 	BatchedBlocks int64
+	// ScavengePasses counts scavenge passes that released at least one
+	// superblock's pages back to the OS (Hoard only).
+	ScavengePasses int64
+	// ScavengedBytes is the cumulative byte total decommitted by the
+	// scavenger, including forced ReleaseMemory passes (Hoard only).
+	ScavengedBytes int64
 }
 
 // MergeAllocatorCounters overwrites every allocator-internal counter in dst

@@ -238,6 +238,10 @@ func (h *Hoard) freeBatchLocked(e env.Env, hp *heap.Heap, groups []batchGroup) (
 				hp.Remove(g.sb)
 				g.sb.Release(h.space)
 				e.Charge(env.OpOSAlloc, 1)
+			} else {
+				// Still parked: this batch touched it, refresh the
+				// scavenger's cold-age stamp as the per-block path does.
+				g.sb.SetParkedAt(h.clock())
 			}
 		}
 	}

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/env"
@@ -151,6 +152,13 @@ type Hoard struct {
 	batchRefills  atomic.Int64
 	batchFlushes  atomic.Int64
 	batchedBlocks atomic.Int64
+	scavPasses    atomic.Int64
+	scavBytes     atomic.Int64
+
+	// clock stamps superblocks parked on the global heap, feeding the
+	// scavenger's cold-age filter. Wall clock by default; SetClock installs
+	// a deterministic source (see scavenge.go).
+	clock func() int64
 }
 
 // threadState is the per-thread state: the index of the heap the thread
@@ -171,6 +179,7 @@ func New(cfg Config, lf env.LockFactory) *Hoard {
 		space:   vm.New(),
 		classes: sizeclass.New(cfg.SizeClassBase, sizeclass.Quantum, cfg.SuperblockSize/2),
 		acct:    alloc.NewSharded(cfg.Heaps + 1),
+		clock:   func() int64 { return time.Now().UnixNano() },
 	}
 	h.heaps = make([]*heap.Heap, cfg.Heaps+1)
 	for i := range h.heaps {
@@ -372,12 +381,18 @@ func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, 
 
 	// GlobalEmptyLimit extension: a free that empties a global-heap
 	// superblock may return it to the OS once the global heap is over
-	// its cap.
-	if hp.ID == 0 && h.cfg.GlobalEmptyLimit > 0 && sb.Empty() &&
-		hp.Superblocks() > h.cfg.GlobalEmptyLimit {
-		hp.Remove(sb)
-		sb.Release(h.space)
-		e.Charge(env.OpOSAlloc, 1)
+	// its cap. (The immediate release is one policy point; the scavenger
+	// in scavenge.go is the paced one.) Superblocks that stay parked get
+	// a fresh stamp — this free touched them, so they are not cold.
+	if hp.ID == 0 {
+		if h.cfg.GlobalEmptyLimit > 0 && sb.Empty() &&
+			hp.Superblocks() > h.cfg.GlobalEmptyLimit {
+			hp.Remove(sb)
+			sb.Release(h.space)
+			e.Charge(env.OpOSAlloc, 1)
+		} else {
+			sb.SetParkedAt(h.clock())
+		}
 	}
 
 	if hp.ID != 0 {
@@ -420,6 +435,7 @@ func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) bool {
 		e.Charge(env.OpOSAlloc, 1)
 	} else {
 		g.Insert(victim)
+		victim.SetParkedAt(h.clock())
 		g.Lock.Unlock(e)
 	}
 	return true
@@ -532,6 +548,8 @@ func (h *Hoard) Stats() alloc.Stats {
 	st.BatchRefills = h.batchRefills.Load()
 	st.BatchFlushes = h.batchFlushes.Load()
 	st.BatchedBlocks = h.batchedBlocks.Load()
+	st.ScavengePasses = h.scavPasses.Load()
+	st.ScavengedBytes = h.scavBytes.Load()
 	return st
 }
 
@@ -570,14 +588,16 @@ func (h *Hoard) CheckIntegrity() error {
 	// Heap-resident in-use bytes plus large objects must equal the live
 	// gauge, after discounting blocks parked on remote-free stacks (they
 	// still count in u but were already subtracted from the live gauge
-	// when pushed). Large objects are exactly the committed bytes not
-	// owned by heaps.
+	// when pushed). Large objects are exactly the reserved bytes not owned
+	// by heaps — reserved, not committed, because a scavenged superblock
+	// still counts S toward its heap's a while its committed bytes are
+	// gone.
 	var heapBytes, pending int64
 	for _, hp := range h.heaps {
 		heapBytes += hp.A()
 		pending += hp.PendingBytes()
 	}
-	large := h.space.Committed() - heapBytes
+	large := h.space.Reserved() - heapBytes
 	if got := u + large - pending; got != h.acct.Live() {
 		return fmt.Errorf("hoard: live accounting %d != heaps %d + large %d - remote-pending %d",
 			h.acct.Live(), u, large, pending)

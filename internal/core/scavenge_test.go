@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+var te = &env.RealEnv{}
+
+// churnToGlobal allocates count objects of size sz and frees them all, which
+// evicts emptied superblocks to the global heap.
+func churnToGlobal(h *Hoard, th *alloc.Thread, count, sz int) {
+	ps := make([]alloc.Ptr, count)
+	for i := range ps {
+		ps[i] = h.Malloc(th, sz)
+	}
+	for _, p := range ps {
+		h.Free(th, p)
+	}
+}
+
+func TestScavengeGlobalRoundTrip(t *testing.T) {
+	h := newHoard(Config{Heaps: 1})
+	th := thread(h, 0)
+	churnToGlobal(h, th, 2000, 64)
+
+	empty := h.GlobalEmptyBytes(te)
+	if empty == 0 {
+		t.Fatal("no empty superblocks parked on the global heap after churn")
+	}
+	before := h.Space().Committed()
+
+	released := h.ReleaseMemory(te)
+	if released != empty {
+		t.Fatalf("released %d bytes, want the full empty surplus %d", released, empty)
+	}
+	st := h.Space().Stats()
+	if st.Committed != before-released {
+		t.Fatalf("Committed = %d, want %d - %d", st.Committed, before, released)
+	}
+	if st.DecommittedBytes != released {
+		t.Fatalf("DecommittedBytes = %d, want %d", st.DecommittedBytes, released)
+	}
+	if st.Reserved < st.Committed {
+		t.Fatalf("reserved %d < committed %d", st.Reserved, st.Committed)
+	}
+	if got := h.GlobalEmptyBytes(te); got != 0 {
+		t.Fatalf("GlobalEmptyBytes after full scavenge = %d, want 0", got)
+	}
+	if s := h.Stats(); s.ScavengePasses != 1 || s.ScavengedBytes != released {
+		t.Fatalf("ScavengePasses %d ScavengedBytes %d, want 1 / %d", s.ScavengePasses, s.ScavengedBytes, released)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Demand returns: the scavenged superblocks are recommitted
+	// transparently and every block is usable (written through).
+	ps := make([]alloc.Ptr, 2000)
+	for i := range ps {
+		ps[i] = h.Malloc(th, 64)
+		buf := h.Bytes(ps[i], 64)
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+	}
+	if got := h.Space().DecommittedBytes(); got != 0 {
+		// All scavenged superblocks should be back in service for this
+		// same-class refill.
+		t.Fatalf("DecommittedBytes after reuse = %d, want 0", got)
+	}
+	for i, p := range ps {
+		buf := h.Bytes(p, 64)
+		for j := range buf {
+			if buf[j] != byte(i) {
+				t.Fatalf("object %d byte %d corrupted", i, j)
+			}
+		}
+		h.Free(th, p)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScavengeColdAgeAndPacing(t *testing.T) {
+	h := newHoard(Config{Heaps: 1})
+	var now int64
+	h.SetClock(func() int64 { return now })
+	th := thread(h, 0)
+
+	now = 1000
+	churnToGlobal(h, th, 2000, 64)
+	parked := h.GlobalEmptyBytes(te)
+	if parked < 3*int64(h.cfg.SuperblockSize) {
+		t.Fatalf("only %d bytes parked; test needs at least 3 superblocks", parked)
+	}
+
+	// Nothing is 500ns cold yet.
+	if got := h.ScavengeGlobal(te, 1<<40, 500); got != 0 {
+		t.Fatalf("scavenged %d bytes before anything went cold", got)
+	}
+	// Advance the clock: everything is cold, but the byte budget caps the
+	// pass at one superblock.
+	now += 1000
+	if got := h.ScavengeGlobal(te, 1, 500); got != int64(h.cfg.SuperblockSize) {
+		t.Fatalf("budgeted scavenge released %d, want one superblock %d", got, h.cfg.SuperblockSize)
+	}
+	// The rest goes on the next unbudgeted pass.
+	if got := h.ScavengeGlobal(te, 1<<40, 500); got != parked-int64(h.cfg.SuperblockSize) {
+		t.Fatalf("second pass released %d, want %d", got, parked-int64(h.cfg.SuperblockSize))
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryScavengeBacksOffUnderContention(t *testing.T) {
+	h := newHoard(Config{Heaps: 1})
+	th := thread(h, 0)
+	churnToGlobal(h, th, 500, 64)
+
+	g := h.heaps[0]
+	g.Lock.Lock(te)
+	if _, ok := h.TryScavengeGlobal(te, 1<<40, 0); ok {
+		t.Fatal("TryScavengeGlobal claimed success while the global lock was held")
+	}
+	if _, ok := h.TryGlobalEmptyBytes(te); ok {
+		t.Fatal("TryGlobalEmptyBytes claimed success while the global lock was held")
+	}
+	g.Lock.Unlock(te)
+	if _, ok := h.TryScavengeGlobal(te, 1<<40, 0); !ok {
+		t.Fatal("TryScavengeGlobal failed with the lock free")
+	}
+}
+
+// TestGlobalEmptyLimitCommittedAccounting is the regression test for the
+// release-accounting satellite: superblocks returned to the OS by the
+// GlobalEmptyLimit immediate-free path must leave Stats.Committed (the
+// public footprint gauge) — releases that only bumped a counter while the
+// committed gauge kept ratcheting would make the footprint unobservable.
+func TestGlobalEmptyLimitCommittedAccounting(t *testing.T) {
+	h := newHoard(Config{Heaps: 1, GlobalEmptyLimit: 2})
+	th := thread(h, 0)
+	ps := make([]alloc.Ptr, 2000)
+	for i := range ps {
+		ps[i] = h.Malloc(th, 64)
+	}
+	peakLive := h.Stats().LiveBytes
+	committedAtPeak := h.Space().Committed()
+	for _, p := range ps {
+		h.Free(th, p)
+	}
+	st := h.Space().Stats()
+	if st.Releases == 0 {
+		t.Fatal("GlobalEmptyLimit never returned superblocks to the OS")
+	}
+	limit := int64((h.cfg.GlobalEmptyLimit + 1 + h.cfg.K) * h.cfg.SuperblockSize)
+	if st.Committed > limit {
+		t.Fatalf("Committed = %d after all frees, want <= %d (releases must lower the gauge)", st.Committed, limit)
+	}
+	if st.Committed >= committedAtPeak {
+		t.Fatalf("Committed %d did not drop from its loaded value %d", st.Committed, committedAtPeak)
+	}
+	if st.Reserved != st.Committed {
+		t.Fatalf("reserved %d != committed %d with no scavenging active", st.Reserved, st.Committed)
+	}
+	if st.PeakCommitted < peakLive {
+		t.Fatalf("PeakCommitted %d below peak live bytes %d", st.PeakCommitted, peakLive)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengeThenGlobalEmptyLimitRelease covers the interaction of the two
+// release policies: a decommitted superblock evicted by the immediate-free
+// path must not double-subtract its bytes.
+func TestScavengeThenEviction(t *testing.T) {
+	h := newHoard(Config{Heaps: 1})
+	th := thread(h, 0)
+	churnToGlobal(h, th, 2000, 64)
+	h.ReleaseMemory(te)
+	// Re-churn a different size class so the decommitted superblocks are
+	// reinitialized cross-class through TakeSuper.
+	churnToGlobal(h, th, 500, 128)
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Space().Stats()
+	if st.Reserved < st.Committed {
+		t.Fatalf("reserved %d < committed %d", st.Reserved, st.Committed)
+	}
+}

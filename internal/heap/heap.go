@@ -400,6 +400,7 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 		e.Charge(env.OpListScan, 1)
 		if sb.Empty() {
 			h.Remove(sb)
+			sb.Recommit(e)
 			return sb
 		}
 	}
@@ -407,6 +408,7 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 		e.Charge(env.OpListScan, 1)
 		if sb := lists[g].head; sb != nil {
 			h.Remove(sb)
+			sb.Recommit(e)
 			return sb
 		}
 	}
@@ -418,12 +420,77 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 			e.Charge(env.OpListScan, 1)
 			if sb.Empty() {
 				h.Remove(sb)
+				// Scavenged superblocks are recommitted transparently
+				// on reuse — and necessarily before Reinit, whose
+				// formatter describes the restored memory.
+				sb.Recommit(e)
 				sb.Reinit(class, blockSize)
 				return sb
 			}
 		}
 	}
 	return nil
+}
+
+// EmptyCommittedBytes sums the committed bytes held by completely empty
+// superblocks — the scavengable surplus the release policy watches. Already
+// decommitted superblocks do not count. The caller holds the heap lock.
+func (h *Heap) EmptyCommittedBytes(e env.Env) int64 {
+	var total int64
+	for c := range h.classes {
+		e.Charge(env.OpListScan, 1)
+		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			e.Charge(env.OpListScan, 1)
+			if sb.Empty() && !sb.Decommitted() {
+				total += int64(h.sbSize)
+			}
+		}
+	}
+	return total
+}
+
+// ScavengeEmpties decommits completely empty, still-committed superblocks in
+// place — oldest park stamp first — until at least maxBytes have been
+// released or no eligible victim remains. A superblock is eligible if it is
+// empty, committed, and was last parked at or before coldBefore (pass the
+// current clock to disable the cold-age filter, math.MaxInt64 to scavenge
+// regardless of stamps). The superblocks stay on the heap; TakeSuper
+// recommits them transparently on reuse. Returns the bytes released and the
+// number of superblocks decommitted. The caller holds the heap lock.
+func (h *Heap) ScavengeEmpties(e env.Env, maxBytes int64, coldBefore int64) (int64, int) {
+	if maxBytes <= 0 {
+		return 0, 0
+	}
+	var victims []*superblock.Superblock
+	for c := range h.classes {
+		e.Charge(env.OpListScan, 1)
+		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			e.Charge(env.OpListScan, 1)
+			if sb.Empty() && !sb.Decommitted() && sb.ParkedAt() <= coldBefore {
+				victims = append(victims, sb)
+			}
+		}
+	}
+	// Oldest first: the longer a superblock has sat idle, the less likely
+	// the next malloc burst wants it back (and the cheaper the decommit is
+	// relative to its remaining lifetime). Insertion sort — victim lists
+	// are short and the heap lock is held.
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && victims[j-1].ParkedAt() > victims[j].ParkedAt(); j-- {
+			victims[j-1], victims[j] = victims[j], victims[j-1]
+		}
+	}
+	var released int64
+	n := 0
+	for _, sb := range victims {
+		if released >= maxBytes {
+			break
+		}
+		sb.Decommit(e)
+		released += int64(h.sbSize)
+		n++
+	}
+	return released, n
 }
 
 // AllFull reports whether every held superblock is completely full — the
@@ -460,7 +527,10 @@ type Occupancy struct {
 	U, A         int64
 	Superblocks  int
 	PendingBytes int64
-	Groups       [NumGroups + 1]int
+	// Decommitted counts held superblocks whose pages are currently
+	// scavenged (reserved but not committed).
+	Decommitted int
+	Groups      [NumGroups + 1]int
 	// Classes holds per-class detail for classes with at least one
 	// superblock; nil when detail was not requested.
 	Classes []ClassOccupancy
@@ -482,6 +552,9 @@ func (h *Heap) SampleOccupancy(detail bool) Occupancy {
 		for g := 0; g <= fullGroup; g++ {
 			for sb := h.classes[c].groups[g].head; sb != nil; sb = sb.Next {
 				occ.Groups[g]++
+				if sb.Decommitted() {
+					occ.Decommitted++
+				}
 				if detail {
 					cls.Groups[g]++
 					cls.Superblocks++

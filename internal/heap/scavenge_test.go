@@ -1,0 +1,137 @@
+package heap
+
+import (
+	"math"
+	"testing"
+
+	"hoardgo/internal/superblock"
+	"hoardgo/internal/vm"
+)
+
+// parkEmpty inserts n empty superblocks of the given class with ascending
+// park stamps stamp0, stamp0+1, ...
+func parkEmpty(h *Heap, space *vm.Space, class, n int, stamp0 int64) []*superblock.Superblock {
+	sbs := make([]*superblock.Superblock, n)
+	for i := range sbs {
+		sb := newSuper(space, class)
+		sb.SetParkedAt(stamp0 + int64(i))
+		h.Insert(sb)
+		sbs[i] = sb
+	}
+	return sbs
+}
+
+func TestScavengeEmptiesOldestFirst(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	sbs := parkEmpty(h, space, 2, 4, 10) // stamps 10, 11, 12, 13
+	released, n := h.ScavengeEmpties(e, 2*testS, math.MaxInt64)
+	if released != 2*testS || n != 2 {
+		t.Fatalf("released %d bytes / %d superblocks, want %d / 2", released, n, 2*testS)
+	}
+	if !sbs[0].Decommitted() || !sbs[1].Decommitted() {
+		t.Fatal("oldest two superblocks not decommitted")
+	}
+	if sbs[2].Decommitted() || sbs[3].Decommitted() {
+		t.Fatal("newest superblocks decommitted — victim order wrong")
+	}
+	if got := space.Committed(); got != 2*testS {
+		t.Fatalf("Committed = %d, want %d", got, 2*testS)
+	}
+	// a/u accounting is untouched: the superblocks are still held.
+	if h.A() != 4*testS || h.Superblocks() != 4 {
+		t.Fatalf("a=%d n=%d changed by scavenge", h.A(), h.Superblocks())
+	}
+	occ := h.SampleOccupancy(false)
+	if occ.Decommitted != 2 {
+		t.Fatalf("occupancy Decommitted = %d, want 2", occ.Decommitted)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScavengeEmptiesColdAge(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	parkEmpty(h, space, 1, 3, 100) // stamps 100, 101, 102
+	released, n := h.ScavengeEmpties(e, 100*testS, 101)
+	if n != 2 || released != 2*testS {
+		t.Fatalf("scavenged %d superblocks (%d bytes), want the 2 with stamp <= 101", n, released)
+	}
+	// Nothing else is cold enough.
+	if _, n := h.ScavengeEmpties(e, 100*testS, 101); n != 0 {
+		t.Fatalf("second pass scavenged %d, want 0", n)
+	}
+}
+
+func TestScavengeSkipsNonEmpty(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	sb := newSuper(space, 2)
+	h.Insert(sb)
+	if _, ok := h.AllocBlock(e, 2); !ok {
+		t.Fatal("AllocBlock failed")
+	}
+	if rel, n := h.ScavengeEmpties(e, 100*testS, math.MaxInt64); n != 0 || rel != 0 {
+		t.Fatalf("scavenged a non-empty superblock (%d bytes)", rel)
+	}
+	if got := h.EmptyCommittedBytes(e); got != 0 {
+		t.Fatalf("EmptyCommittedBytes = %d, want 0", got)
+	}
+}
+
+func TestEmptyCommittedBytesExcludesDecommitted(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	parkEmpty(h, space, 3, 3, 0)
+	if got := h.EmptyCommittedBytes(e); got != 3*testS {
+		t.Fatalf("EmptyCommittedBytes = %d, want %d", got, 3*testS)
+	}
+	h.ScavengeEmpties(e, testS, math.MaxInt64)
+	if got := h.EmptyCommittedBytes(e); got != 2*testS {
+		t.Fatalf("EmptyCommittedBytes after scavenge = %d, want %d", got, 2*testS)
+	}
+}
+
+func TestTakeSuperRecommitsSameClass(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	parkEmpty(h, space, 2, 1, 0)
+	h.ScavengeEmpties(e, testS, math.MaxInt64)
+	if got := space.Committed(); got != 0 {
+		t.Fatalf("Committed = %d, want 0", got)
+	}
+	sb := h.TakeSuper(e, 2, blockSizeFor(2))
+	if sb == nil {
+		t.Fatal("TakeSuper found nothing")
+	}
+	if sb.Decommitted() {
+		t.Fatal("TakeSuper returned a decommitted superblock")
+	}
+	if got := space.Committed(); got != testS {
+		t.Fatalf("Committed = %d, want %d after transparent recommit", got, testS)
+	}
+	// The superblock is immediately usable.
+	if _, ok := sb.AllocBlock(e); !ok {
+		t.Fatal("AllocBlock failed on recommitted superblock")
+	}
+}
+
+func TestTakeSuperRecommitsCrossClass(t *testing.T) {
+	space := vm.New()
+	h := newHeap(0)
+	parkEmpty(h, space, 5, 1, 0)
+	h.ScavengeEmpties(e, testS, math.MaxInt64)
+	// Different class: TakeSuper must recommit before Reinit.
+	sb := h.TakeSuper(e, 1, blockSizeFor(1))
+	if sb == nil {
+		t.Fatal("TakeSuper found nothing cross-class")
+	}
+	if sb.Class() != 1 || sb.Decommitted() {
+		t.Fatalf("class %d decommitted %v", sb.Class(), sb.Decommitted())
+	}
+	if _, ok := sb.AllocBlock(e); !ok {
+		t.Fatal("AllocBlock failed on reinitialized recommitted superblock")
+	}
+}

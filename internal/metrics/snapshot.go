@@ -35,6 +35,9 @@ type HeapSample struct {
 	A int64 `json:"a"`
 	// Superblocks is the number of superblocks held.
 	Superblocks int `json:"superblocks"`
+	// Decommitted is how many of those superblocks the scavenger has
+	// returned to the OS (still held, recommitted on reuse).
+	Decommitted int `json:"decommitted"`
 	// PendingBytes is the racy pending-remote-free hint.
 	PendingBytes int64 `json:"pending_bytes"`
 	// Groups is the fullness-group histogram aggregated over classes.
@@ -135,6 +138,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		writeHeapFamily(&b, "hoard_heap_superblocks",
 			"Superblocks held by the heap.",
 			s.Heaps, func(h HeapSample) int64 { return int64(h.Superblocks) })
+		writeHeapFamily(&b, "hoard_heap_decommitted_superblocks",
+			"Held superblocks currently decommitted by the scavenger.",
+			s.Heaps, func(h HeapSample) int64 { return int64(h.Decommitted) })
 		writeHeapFamily(&b, "hoard_heap_remote_pending_bytes",
 			"Racy hint of bytes parked on the heap's remote-free stacks.",
 			s.Heaps, func(h HeapSample) int64 { return h.PendingBytes })

@@ -1,0 +1,236 @@
+package scavenge
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+const S = 8192 // superblock size the defaults are tuned for
+
+func pacerCfg() Config {
+	return Config{
+		HighWaterBytes: 8 * S,
+		LowWaterBytes:  4 * S,
+		BytesPerSec:    1 << 20, // 1 MiB/s
+		BurstBytes:     4 * S,
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LowWaterBytes != c.HighWaterBytes/2 {
+		t.Fatalf("default low watermark %d, want half of %d", c.LowWaterBytes, c.HighWaterBytes)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{HighWaterBytes: -1},
+		{HighWaterBytes: 100, LowWaterBytes: 200},
+		{BytesPerSec: -1},
+		{BurstBytes: -1},
+		{ColdAge: -time.Second},
+		{Interval: -time.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestPacerHysteresis(t *testing.T) {
+	p := NewPacer(pacerCfg())
+	now := int64(0)
+
+	// Below the high watermark: disengaged, no grant.
+	if g := p.Grant(8*S, now); g != 0 || p.Engaged() {
+		t.Fatalf("grant %d engaged %v at the high watermark, want 0/false", g, p.Engaged())
+	}
+	// Crossing it engages and grants down toward the LOW watermark.
+	if g := p.Grant(9*S, now); g <= 0 || !p.Engaged() {
+		t.Fatalf("grant %d engaged %v above the high watermark", g, p.Engaged())
+	}
+	// While engaged, still granting between the watermarks (hysteresis).
+	if g := p.Grant(6*S, now); g <= 0 || !p.Engaged() {
+		t.Fatalf("grant %d engaged %v between watermarks while engaged", g, p.Engaged())
+	}
+	// At the low watermark it disengages and stops granting.
+	if g := p.Grant(4*S, now); g != 0 || p.Engaged() {
+		t.Fatalf("grant %d engaged %v at the low watermark", g, p.Engaged())
+	}
+	// Between the watermarks while disengaged: still nothing (the other
+	// side of the hysteresis loop).
+	if g := p.Grant(6*S, now); g != 0 || p.Engaged() {
+		t.Fatalf("grant %d engaged %v between watermarks while disengaged", g, p.Engaged())
+	}
+}
+
+func TestPacerGrantStopsAtLowWater(t *testing.T) {
+	cfg := pacerCfg()
+	cfg.BurstBytes = 100 * S // effectively unlimited for this test
+	p := NewPacer(cfg)
+	if g := p.Grant(10*S, 0); g != 6*S {
+		t.Fatalf("grant %d, want down-to-low-watermark %d", g, 6*S)
+	}
+}
+
+func TestPacerTokenBucket(t *testing.T) {
+	p := NewPacer(pacerCfg()) // burst 4S, rate 1 MiB/s
+	// First grant starts with a full burst; surplus far exceeds it.
+	g := p.Grant(100*S, 0)
+	if g != 4*S {
+		t.Fatalf("first grant %d, want full burst %d", g, 4*S)
+	}
+	p.Spend(g)
+	// No time elapsed: bucket empty.
+	if g := p.Grant(100*S, 0); g != 0 {
+		t.Fatalf("grant %d from empty bucket, want 0", g)
+	}
+	// 8192 bytes at 1 MiB/s take ~7.8ms; after 10ms one superblock fits.
+	g = p.Grant(100*S, 10*int64(time.Millisecond))
+	if g < S || g >= 2*S {
+		t.Fatalf("grant after 10ms refill = %d, want about one superblock", g)
+	}
+	// A long idle stretch refills to the burst cap, no further.
+	p.Spend(g)
+	if g := p.Grant(100*S, 10*int64(time.Second)); g != 4*S {
+		t.Fatalf("grant after long idle = %d, want burst cap %d", g, 4*S)
+	}
+}
+
+// fakeTarget is a deterministic Target: a pool of parked bytes that refuses
+// while contended.
+type fakeTarget struct {
+	mu        sync.Mutex
+	empty     int64
+	contended bool
+	calls     int
+}
+
+func (f *fakeTarget) EmptyBytes() (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.contended {
+		return 0, false
+	}
+	return f.empty, true
+}
+
+func (f *fakeTarget) Scavenge(maxBytes int64, coldAge time.Duration) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.contended {
+		return 0, false
+	}
+	// Whole superblocks only, like the real heap.
+	n := maxBytes / S * S
+	if n > f.empty {
+		n = f.empty / S * S
+	}
+	f.empty -= n
+	return n, true
+}
+
+func (f *fakeTarget) set(empty int64, contended bool) {
+	f.mu.Lock()
+	f.empty, f.contended = empty, contended
+	f.mu.Unlock()
+}
+
+func (f *fakeTarget) get() (int64, bool, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.empty, f.contended, f.calls
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func scavCfg() Config {
+	return Config{
+		HighWaterBytes: 4 * S,
+		LowWaterBytes:  2 * S,
+		ColdAge:        time.Nanosecond,
+		Interval:       time.Millisecond,
+		BytesPerSec:    1 << 30,
+		BurstBytes:     1 << 30,
+		MaxBackoff:     50 * time.Millisecond,
+	}
+}
+
+func TestScavengerDrainsToLowWater(t *testing.T) {
+	f := &fakeTarget{empty: 20 * S}
+	s := New(f, scavCfg())
+	s.Start()
+	defer s.Stop()
+	waitFor(t, "drain to low watermark", func() bool {
+		empty, _, _ := f.get()
+		return empty == 2*S
+	})
+	st := s.Stats()
+	if st.ReleasedBytes != 18*S {
+		t.Fatalf("ReleasedBytes = %d, want %d", st.ReleasedBytes, 18*S)
+	}
+	if st.Passes == 0 || st.Wakeups == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Below the watermarks nothing further is released.
+	time.Sleep(20 * time.Millisecond)
+	if empty, _, _ := f.get(); empty != 2*S {
+		t.Fatalf("scavenger went below the low watermark: %d", empty)
+	}
+}
+
+func TestScavengerBacksOffWhenContended(t *testing.T) {
+	f := &fakeTarget{empty: 20 * S, contended: true}
+	s := New(f, scavCfg())
+	s.Start()
+	defer s.Stop()
+	waitFor(t, "backoffs to accumulate", func() bool {
+		return s.Stats().Backoffs >= 3
+	})
+	if empty, _, _ := f.get(); empty != 20*S {
+		t.Fatal("scavenger released bytes from a contended target")
+	}
+	// Contention clears; the scavenger recovers and drains.
+	f.set(20*S, false)
+	waitFor(t, "drain after contention clears", func() bool {
+		empty, _, _ := f.get()
+		return empty == 2*S
+	})
+}
+
+func TestScavengerStartStopIdempotent(t *testing.T) {
+	f := &fakeTarget{empty: 20 * S}
+	s := New(f, scavCfg())
+	s.Start()
+	s.Start()
+	if !s.Running() {
+		t.Fatal("not running after Start")
+	}
+	s.Stop()
+	s.Stop()
+	if s.Running() {
+		t.Fatal("running after Stop")
+	}
+	// Restart works.
+	f.set(20*S, false)
+	s.Start()
+	waitFor(t, "drain after restart", func() bool {
+		empty, _, _ := f.get()
+		return empty == 2*S
+	})
+	s.Stop()
+}

@@ -68,6 +68,13 @@ type Superblock struct {
 
 	ownerID atomic.Int32
 
+	// decommitted is true while the span's pages are dropped (scavenged).
+	// parkedAt is the clock reading when the superblock last went idle on
+	// the global heap; the scavenger's cold-age filter compares against it.
+	// Both are protected by the owning heap's lock.
+	decommitted bool
+	parkedAt    int64
+
 	// Next and Prev link the superblock into its heap's fullness-group
 	// list for its size class. Group is the list it is currently on.
 	// All three are managed exclusively by the owning heap.
@@ -90,6 +97,9 @@ func New(space *vm.Space, size, class, blockSize int) *Superblock {
 
 // format initializes block bookkeeping for a (possibly recycled) superblock.
 func (sb *Superblock) format(class, blockSize int) {
+	if sb.decommitted {
+		panic(fmt.Sprintf("superblock %#x: format while decommitted (missing Recommit)", sb.span.Base))
+	}
 	sb.class = class
 	sb.blockSize = blockSize
 	sb.nBlocks = sb.size / blockSize
@@ -135,7 +145,57 @@ func (sb *Superblock) Release(space *vm.Space) {
 	}
 	space.Release(sb.span)
 	sb.span = nil
+	sb.decommitted = false
 }
+
+// Decommit drops the superblock's backing pages in place
+// (madvise(DONTNEED)-style) while the superblock stays parked on its heap:
+// its address range remains reserved, FromPtr still resolves into it, but
+// its committed bytes return to the OS until Recommit. The free list and
+// carve frontier live inside the dropped memory, so both are reset — the
+// bitmap (all free) and carved=0 describe the same empty state without
+// touching the span. The superblock must be completely empty with no remote
+// frees pending; the caller holds the owning heap's lock. The decommit is
+// charged as an OS call.
+func (sb *Superblock) Decommit(e env.Env) {
+	if sb.inUse != 0 {
+		panic(fmt.Sprintf("superblock %#x: Decommit with %d blocks in use", sb.Base(), sb.inUse))
+	}
+	if sb.remoteHead.Load() != 0 {
+		panic(fmt.Sprintf("superblock %#x: Decommit with remote frees pending", sb.Base()))
+	}
+	if sb.decommitted {
+		panic(fmt.Sprintf("superblock %#x: double Decommit", sb.Base()))
+	}
+	sb.freeHead = 0
+	sb.carved = 0
+	sb.decommitted = true
+	e.Charge(env.OpOSAlloc, 1)
+	sb.span.Decommit(0, sb.size)
+}
+
+// Recommit restores the superblock's backing pages after a Decommit so its
+// blocks can be handed out again; a no-op if the superblock is committed.
+// The caller holds the owning heap's lock.
+func (sb *Superblock) Recommit(e env.Env) {
+	if !sb.decommitted {
+		return
+	}
+	e.Charge(env.OpOSAlloc, 1)
+	sb.span.Recommit(0, sb.size)
+	sb.decommitted = false
+}
+
+// Decommitted reports whether the superblock's pages are currently dropped.
+func (sb *Superblock) Decommitted() bool { return sb.decommitted }
+
+// ParkedAt returns the clock reading recorded by SetParkedAt, the scavenger's
+// cold-age input. Zero means never stamped.
+func (sb *Superblock) ParkedAt() int64 { return sb.parkedAt }
+
+// SetParkedAt records when the superblock last went idle on (or was last
+// touched while on) the global heap. The caller holds the owning heap's lock.
+func (sb *Superblock) SetParkedAt(ns int64) { sb.parkedAt = ns }
 
 // FromPtr resolves a block pointer to its superblock via the address space's
 // page map, the moral equivalent of the paper's per-block header. ok is
@@ -440,6 +500,24 @@ func (sb *Superblock) CheckIntegrityOnline() error {
 func (sb *Superblock) checkIntegrity(online bool) error {
 	if sb.span == nil {
 		return fmt.Errorf("superblock: released but still reachable")
+	}
+	if sb.decommitted {
+		// A decommitted superblock's list state lives in dropped memory;
+		// the only consistent shape is the pristine empty one.
+		if sb.inUse != 0 || sb.freeHead != 0 || sb.carved != 0 {
+			return fmt.Errorf("superblock %#x: decommitted but inUse %d freeHead %d carved %d",
+				sb.Base(), sb.inUse, sb.freeHead, sb.carved)
+		}
+		if sb.remoteHead.Load() != 0 {
+			return fmt.Errorf("superblock %#x: decommitted with remote frees pending", sb.Base())
+		}
+		if got := sb.span.DecommittedBytes(); got != int64(sb.size) {
+			return fmt.Errorf("superblock %#x: decommitted flag set but span has %d/%d bytes dropped", sb.Base(), got, sb.size)
+		}
+		return nil
+	}
+	if got := sb.span.DecommittedBytes(); got != 0 {
+		return fmt.Errorf("superblock %#x: committed flag but span has %d bytes dropped", sb.Base(), got)
 	}
 	listed := 0
 	seen := make(map[int]bool)

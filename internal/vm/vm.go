@@ -9,8 +9,13 @@
 // handed out is genuinely readable and writable and blocks that share a
 // simulated cache line also share physical memory.
 //
-// The Space tracks committed bytes and their high-water mark, which is what
-// the paper's fragmentation and blowup experiments measure.
+// The Space distinguishes reserved bytes (address space handed to the
+// allocator) from committed bytes (pages currently backed), each with its
+// own high-water mark. Reserve commits the whole span; Span.Decommit drops
+// the backing of a page range madvise(DONTNEED)-style while keeping the
+// addresses reserved, and Recommit backs them again. Peak committed is what
+// the paper's fragmentation and blowup experiments measure; the
+// reserved/committed gap is what the scavenger returns to the OS.
 package vm
 
 import (
@@ -42,6 +47,19 @@ const (
 	maxAddr = 1 << (l1Bits + l2Bits + PageShift)
 )
 
+// Poison patterns written over span memory in debug (poison) mode, chosen to
+// be distinct so a crash dump says which lifecycle edge produced the bytes.
+const (
+	// PoisonReleased marks memory of a released span awaiting reuse.
+	PoisonReleased = 0xDB
+	// PoisonDecommitted marks pages dropped by Decommit.
+	PoisonDecommitted = 0xDD
+	// PoisonRecommitted marks pages freshly backed by Recommit (a real OS
+	// would hand back zero pages; the poison flushes out code that assumes
+	// data survived a decommit/recommit cycle).
+	PoisonRecommitted = 0xDC
+)
+
 // Span is a contiguous page-aligned region of the simulated address space,
 // obtained from a Space and backed by real memory.
 type Span struct {
@@ -55,48 +73,187 @@ type Span struct {
 	// the span is live.
 	Owner any
 
-	data []byte
+	data  []byte
+	space *Space
+
+	// decomPages is a bitmap of decommitted pages (bit i set = page i has
+	// no backing), allocated lazily on first Decommit and guarded by the
+	// space's mutex. decomBytes caches the decommitted byte total so the
+	// hot Bytes path can skip the bitmap with one atomic load.
+	decomPages []uint64
+	decomBytes atomic.Int64
 }
 
 // Bytes returns a view of n bytes of the span's backing memory starting at
-// byte offset off. It panics if the range is out of bounds.
+// byte offset off. It panics if the range is out of bounds or overlaps a
+// decommitted page — touching decommitted memory is always an allocator bug.
 func (sp *Span) Bytes(off, n int) []byte {
+	if sp.decomBytes.Load() != 0 {
+		sp.checkCommitted(off, n)
+	}
 	return sp.data[off : off+n : off+n]
 }
 
-// Data returns the span's entire backing memory.
-func (sp *Span) Data() []byte { return sp.data }
+// checkCommitted panics if [off, off+n) overlaps a decommitted page. It
+// takes the space's mutex: this path is only reached on spans that currently
+// have decommitted pages, which legitimate code never touches.
+func (sp *Span) checkCommitted(off, n int) {
+	sp.space.mu.Lock()
+	defer sp.space.mu.Unlock()
+	if sp.decomPages == nil {
+		return
+	}
+	for pg := off >> PageShift; pg <= (off+n-1)>>PageShift; pg++ {
+		if sp.decomPages[pg/64]&(1<<(pg%64)) != 0 {
+			panic(fmt.Sprintf("vm: access to decommitted page %d of span %#x (Bytes(%d, %d))", pg, sp.Base, off, n))
+		}
+	}
+}
+
+// Data returns the span's entire backing memory. It panics if any page of
+// the span is decommitted.
+func (sp *Span) Data() []byte {
+	if sp.decomBytes.Load() != 0 {
+		sp.checkCommitted(0, sp.Len)
+	}
+	return sp.data
+}
 
 // End returns the address one past the last byte of the span.
 func (sp *Span) End() uint64 { return sp.Base + uint64(sp.Len) }
 
+// DecommittedBytes returns the number of the span's bytes currently
+// decommitted.
+func (sp *Span) DecommittedBytes() int64 { return sp.decomBytes.Load() }
+
+// Decommit drops the backing of the page-aligned range [off, off+n),
+// simulating madvise(MADV_DONTNEED): the addresses stay reserved and Lookup
+// still resolves them, but the pages stop counting as committed and any
+// access through Bytes panics until Recommit. The dropped memory is zeroed
+// (poisoned in poison mode) so its previous contents — e.g. a superblock's
+// free-list links — are genuinely gone. Already-decommitted pages are
+// skipped. It panics if the range is not page-aligned or escapes the span.
+func (sp *Span) Decommit(off, n int) {
+	sp.pageRange("Decommit", off, n)
+	s := sp.space
+	s.mu.Lock()
+	if sp.decomPages == nil {
+		sp.decomPages = make([]uint64, (sp.Len>>PageShift+63)/64)
+	}
+	fill := byte(0)
+	if s.poisons {
+		fill = PoisonDecommitted
+	}
+	dropped := 0
+	for pg := off >> PageShift; pg < (off+n)>>PageShift; pg++ {
+		w, b := pg/64, uint64(1)<<(pg%64)
+		if sp.decomPages[w]&b != 0 {
+			continue
+		}
+		sp.decomPages[w] |= b
+		base := pg << PageShift
+		for i := base; i < base+PageSize; i++ {
+			sp.data[i] = fill
+		}
+		dropped += PageSize
+	}
+	if dropped > 0 {
+		sp.decomBytes.Add(int64(dropped))
+		s.committed.Add(int64(-dropped))
+		s.decommitted.Add(int64(dropped))
+	}
+	s.decommits.Add(1)
+	s.mu.Unlock()
+}
+
+// Recommit restores backing for the page-aligned range [off, off+n),
+// re-counting the pages as committed. A real OS hands back zero pages; in
+// poison mode the pages are filled with PoisonRecommitted instead, to flush
+// out code that assumes data survived the decommit. Pages that are already
+// committed are skipped. It panics if the range is not page-aligned or
+// escapes the span.
+func (sp *Span) Recommit(off, n int) {
+	sp.pageRange("Recommit", off, n)
+	s := sp.space
+	s.mu.Lock()
+	restored := 0
+	if sp.decomPages != nil {
+		fill := byte(0)
+		if s.poisons {
+			fill = PoisonRecommitted
+		}
+		for pg := off >> PageShift; pg < (off+n)>>PageShift; pg++ {
+			w, b := pg/64, uint64(1)<<(pg%64)
+			if sp.decomPages[w]&b == 0 {
+				continue
+			}
+			sp.decomPages[w] &^= b
+			base := pg << PageShift
+			for i := base; i < base+PageSize; i++ {
+				sp.data[i] = fill
+			}
+			restored += PageSize
+		}
+	}
+	if restored > 0 {
+		sp.decomBytes.Add(int64(-restored))
+		s.decommitted.Add(int64(-restored))
+		s.addCommitted(int64(restored))
+	}
+	s.recommits.Add(1)
+	s.mu.Unlock()
+}
+
+func (sp *Span) pageRange(op string, off, n int) {
+	if off < 0 || n <= 0 || off+n > sp.Len {
+		panic(fmt.Sprintf("vm: %s(%d, %d) escapes span of %d bytes", op, off, n, sp.Len))
+	}
+	if off&(PageSize-1) != 0 || n&(PageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: %s(%d, %d) not page-aligned", op, off, n))
+	}
+}
+
 // Stats is a snapshot of a Space's accounting.
 type Stats struct {
-	// Committed is the number of bytes currently reserved and backed.
+	// Reserved is the number of address-space bytes currently handed out
+	// (live spans, committed or not); PeakReserved is its high-water mark.
+	Reserved, PeakReserved int64
+	// Committed is the number of bytes currently backed by memory.
 	Committed int64
 	// PeakCommitted is the high-water mark of Committed. This is the "max
 	// heap" measurement used by the paper's fragmentation table.
 	PeakCommitted int64
+	// DecommittedBytes is the reserved-but-unbacked byte total, i.e.
+	// Reserved - Committed contributed by Decommit.
+	DecommittedBytes int64
 	// Reserves and Releases count Reserve and Release calls.
 	Reserves, Releases int64
 	// Recycled counts Reserve calls satisfied from the recycle pool
 	// rather than fresh backing memory.
 	Recycled int64
+	// Decommits and Recommits count Span.Decommit and Span.Recommit calls.
+	Decommits, Recommits int64
 }
 
 // Space is a simulated OS address space. All methods are safe for concurrent
-// use; Lookup and Bytes are lock-free.
+// use; Lookup and Bytes are lock-free (Bytes takes the lock only for spans
+// that currently have decommitted pages).
 type Space struct {
 	mu      sync.Mutex
 	next    uint64
 	pool    map[int][]*Span // released spans by length, for reuse
 	poisons bool
 
-	committed atomic.Int64
-	peak      atomic.Int64
-	reserves  atomic.Int64
-	releases  atomic.Int64
-	recycled  atomic.Int64
+	reserved     atomic.Int64
+	peakReserved atomic.Int64
+	committed    atomic.Int64
+	peak         atomic.Int64
+	decommitted  atomic.Int64
+	reserves     atomic.Int64
+	releases     atomic.Int64
+	recycled     atomic.Int64
+	decommits    atomic.Int64
+	recommits    atomic.Int64
 
 	l1 [l1Size]atomic.Pointer[l2node]
 }
@@ -108,9 +265,9 @@ func New() *Space {
 	return &Space{next: baseAddr, pool: make(map[int][]*Span)}
 }
 
-// SetPoison controls whether released span memory is overwritten with a
-// poison pattern (0xDB) before reuse, to flush out use-after-free bugs in
-// tests. It is off by default.
+// SetPoison controls whether span memory is overwritten with poison patterns
+// on release, decommit, and recommit, to flush out use-after-free and
+// use-after-decommit bugs in tests. It is off by default.
 func (s *Space) SetPoison(on bool) {
 	s.mu.Lock()
 	s.poisons = on
@@ -119,8 +276,9 @@ func (s *Space) SetPoison(on bool) {
 
 // Reserve returns a new span of size bytes (rounded up to whole pages) whose
 // base address is a multiple of align. align must be zero or a power of two;
-// zero means page alignment. The owner tag is attached before the span is
-// published. Reserve panics if size is not positive or align is invalid.
+// zero means page alignment. The span is fully committed. The owner tag is
+// attached before the span is published. Reserve panics if size is not
+// positive or align is invalid.
 func (s *Space) Reserve(size, align int, owner any) *Span {
 	if size <= 0 {
 		panic(fmt.Sprintf("vm: Reserve size %d", size))
@@ -145,21 +303,33 @@ func (s *Space) Reserve(size, align int, owner any) *Span {
 			panic("vm: simulated address space exhausted")
 		}
 		s.next = base + uint64(size)
-		sp = &Span{Base: base, Len: size, data: make([]byte, size)}
+		sp = &Span{Base: base, Len: size, data: make([]byte, size), space: s}
 	}
 	sp.Owner = owner
 	s.publishLocked(sp)
 	s.mu.Unlock()
 
 	s.reserves.Add(1)
-	c := s.committed.Add(int64(size))
+	r := s.reserved.Add(int64(size))
+	for {
+		p := s.peakReserved.Load()
+		if r <= p || s.peakReserved.CompareAndSwap(p, r) {
+			break
+		}
+	}
+	s.addCommitted(int64(size))
+	return sp
+}
+
+// addCommitted adds delta committed bytes and maintains the high-water mark.
+func (s *Space) addCommitted(delta int64) {
+	c := s.committed.Add(delta)
 	for {
 		p := s.peak.Load()
 		if c <= p || s.peak.CompareAndSwap(p, c) {
 			break
 		}
 	}
-	return sp
 }
 
 // takeFromPoolLocked pops a recycled span of exactly the given size whose
@@ -179,6 +349,9 @@ func (s *Space) takeFromPoolLocked(size, align int) *Span {
 
 // Release returns a span to the simulated OS. The span's addresses become
 // invalid: Lookup returns nil for them until the region is reserved again.
+// Releasing a partially decommitted span only un-commits the bytes that were
+// still backed; the decommitted remainder already left the committed count
+// when Decommit dropped it.
 func (s *Space) Release(sp *Span) {
 	if sp == nil {
 		panic("vm: Release(nil)")
@@ -186,16 +359,27 @@ func (s *Space) Release(sp *Span) {
 	s.mu.Lock()
 	s.unpublishLocked(sp)
 	sp.Owner = nil
+	backed := int64(sp.Len) - sp.decomBytes.Load()
+	if decom := sp.decomBytes.Load(); decom != 0 {
+		// Reset decommit state so the pooled span comes back fully
+		// committed from its next Reserve.
+		s.decommitted.Add(-decom)
+		sp.decomBytes.Store(0)
+		for i := range sp.decomPages {
+			sp.decomPages[i] = 0
+		}
+	}
 	if s.poisons {
 		for i := range sp.data {
-			sp.data[i] = 0xDB
+			sp.data[i] = PoisonReleased
 		}
 	}
 	s.pool[sp.Len] = append(s.pool[sp.Len], sp)
 	s.mu.Unlock()
 
 	s.releases.Add(1)
-	s.committed.Add(int64(-sp.Len))
+	s.reserved.Add(int64(-sp.Len))
+	s.committed.Add(-backed)
 }
 
 func (s *Space) publishLocked(sp *Span) {
@@ -229,7 +413,8 @@ func (n *l2node) pageSlot(addr uint64) *atomic.Pointer[Span] {
 }
 
 // Lookup returns the span containing addr, or nil if addr is not part of any
-// live span. It is lock-free and safe for concurrent use.
+// live span. It is lock-free and safe for concurrent use. Decommitted pages
+// still resolve — their addresses are reserved; only their backing is gone.
 func (s *Space) Lookup(addr uint64) *Span {
 	if addr >= maxAddr {
 		return nil
@@ -246,8 +431,9 @@ func (s *Space) Lookup(addr uint64) *Span {
 }
 
 // Bytes returns a view of n bytes of backing memory at the simulated address
-// addr. It panics if the range is not fully inside one live span, which
-// always indicates an allocator bug or a use-after-free.
+// addr. It panics if the range is not fully inside one live span or touches
+// a decommitted page, which always indicates an allocator bug or a
+// use-after-free.
 func (s *Space) Bytes(addr uint64, n int) []byte {
 	sp := s.Lookup(addr)
 	if sp == nil {
@@ -257,19 +443,30 @@ func (s *Space) Bytes(addr uint64, n int) []byte {
 	if off+n > sp.Len {
 		panic(fmt.Sprintf("vm: Bytes(%#x, %d): range escapes span [%#x,%#x)", addr, n, sp.Base, sp.End()))
 	}
-	return sp.data[off : off+n : off+n]
+	return sp.Bytes(off, n)
 }
 
 // Stats returns a snapshot of the space's accounting.
 func (s *Space) Stats() Stats {
 	return Stats{
-		Committed:     s.committed.Load(),
-		PeakCommitted: s.peak.Load(),
-		Reserves:      s.reserves.Load(),
-		Releases:      s.releases.Load(),
-		Recycled:      s.recycled.Load(),
+		Reserved:         s.reserved.Load(),
+		PeakReserved:     s.peakReserved.Load(),
+		Committed:        s.committed.Load(),
+		PeakCommitted:    s.peak.Load(),
+		DecommittedBytes: s.decommitted.Load(),
+		Reserves:         s.reserves.Load(),
+		Releases:         s.releases.Load(),
+		Recycled:         s.recycled.Load(),
+		Decommits:        s.decommits.Load(),
+		Recommits:        s.recommits.Load(),
 	}
 }
+
+// Reserved returns the number of address-space bytes currently reserved.
+func (s *Space) Reserved() int64 { return s.reserved.Load() }
+
+// PeakReserved returns the high-water mark of reserved bytes.
+func (s *Space) PeakReserved() int64 { return s.peakReserved.Load() }
 
 // Committed returns the number of bytes currently committed.
 func (s *Space) Committed() int64 { return s.committed.Load() }
@@ -277,6 +474,13 @@ func (s *Space) Committed() int64 { return s.committed.Load() }
 // PeakCommitted returns the high-water mark of committed bytes.
 func (s *Space) PeakCommitted() int64 { return s.peak.Load() }
 
-// ResetPeak lowers the peak-committed mark to the current committed value,
-// so an experiment can measure its own high-water mark in a reused space.
-func (s *Space) ResetPeak() { s.peak.Store(s.committed.Load()) }
+// DecommittedBytes returns the reserved-but-unbacked byte total.
+func (s *Space) DecommittedBytes() int64 { return s.decommitted.Load() }
+
+// ResetPeak lowers the peak-committed and peak-reserved marks to the current
+// values, so an experiment can measure its own high-water marks in a reused
+// space.
+func (s *Space) ResetPeak() {
+	s.peak.Store(s.committed.Load())
+	s.peakReserved.Store(s.reserved.Load())
+}

@@ -21,6 +21,10 @@ type PhaseShiftConfig struct {
 	Phases int
 	// LiveObjects and ObjSize define the per-phase live set.
 	LiveObjects, ObjSize int
+	// AfterRound, if set, runs on the phase's owning thread after its frees
+	// and before the phase's committed-memory sample; the footprint
+	// experiments hook a scavenge pass here.
+	AfterRound func(e env.Env, phase int)
 }
 
 // DefaultPhaseShift gives the experiment's usual shape.
@@ -46,6 +50,9 @@ func PhaseShift(h *Harness, cfg PhaseShiftConfig) (Result, []int64) {
 				for _, p := range ps {
 					a.Free(t, p)
 					h.OnFree(cfg.ObjSize)
+				}
+				if cfg.AfterRound != nil {
+					cfg.AfterRound(e, phase)
 				}
 				committed[phase] = a.Space().Committed()
 			}

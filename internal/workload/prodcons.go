@@ -21,6 +21,11 @@ type ProdConsConfig struct {
 	Batch int
 	// ObjSize is the object size.
 	ObjSize int
+	// AfterRound, if set, runs on thread 0 after each round's frees have
+	// completed (all threads are between barriers) and before the round's
+	// committed-memory sample — the hook the footprint experiments use to
+	// drive a scavenge pass in virtual time.
+	AfterRound func(e env.Env, round int)
 }
 
 // DefaultProdCons gives the experiment's usual shape.
@@ -62,6 +67,9 @@ func ProdCons(h *Harness, cfg ProdConsConfig) (Result, []int64) {
 			}
 			barrier.Wait(e)
 			if id == 0 {
+				if cfg.AfterRound != nil {
+					cfg.AfterRound(e, r)
+				}
 				committed[r] = a.Space().Committed()
 			}
 			barrier.Wait(e)

@@ -3,6 +3,7 @@ package hoard
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"hoardgo/internal/core"
@@ -63,6 +64,18 @@ func (a *Allocator) sampleMetrics() metrics.Snapshot {
 	s.Counters["peak_live_bytes"] = st.PeakLiveBytes
 	s.Counters["footprint_bytes"] = st.FootprintBytes
 	s.Counters["peak_footprint_bytes"] = st.PeakFootprintBytes
+	s.Counters["reserved_bytes"] = st.ReservedBytes
+	s.Counters["peak_reserved_bytes"] = st.PeakReservedBytes
+	s.Counters["decommitted_bytes"] = st.DecommittedBytes
+	s.Counters["scavenge_passes_total"] = st.ScavengeOps
+	s.Counters["scavenged_bytes_total"] = st.ScavengedBytes
+	sp := a.impl.Space().Stats()
+	s.Counters["decommits_total"] = sp.Decommits
+	s.Counters["recommits_total"] = sp.Recommits
+	if ss := a.ScavengerStats(); ss.Wakeups > 0 {
+		s.Counters["scavenger_wakeups_total"] = ss.Wakeups
+		s.Counters["scavenger_backoffs_total"] = ss.Backoffs
+	}
 	s.Counters["superblock_moves_total"] = st.SuperblockMoves
 	s.Counters["remote_frees_total"] = st.RemoteFrees
 	s.Counters["remote_fast_frees_total"] = st.RemoteFastFrees
@@ -76,6 +89,7 @@ func (a *Allocator) sampleMetrics() metrics.Snapshot {
 				U:            occ.U,
 				A:            occ.A,
 				Superblocks:  occ.Superblocks,
+				Decommitted:  occ.Decommitted,
 				PendingBytes: occ.PendingBytes,
 				Groups:       occ.Groups[:],
 			}
@@ -179,3 +193,20 @@ func (a *Allocator) StopAuditor() (passes, failures int64, err error) {
 // the metrics-smoke CI check can lint benchmark artifacts without importing
 // internal packages.
 func LintMetrics(text string) error { return metrics.LintPrometheus(text) }
+
+// MetricsHandler returns an http.Handler that serves WriteMetrics in the
+// Prometheus text exposition format, for mounting on a scrape endpoint:
+//
+//	http.Handle("/metrics", a.MetricsHandler())
+//
+// Each request takes a fresh sample; safe under allocation load. See
+// examples/metricsserver for a complete scrape target.
+func (a *Allocator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := a.WriteMetrics(w); err != nil {
+			// Headers are gone; all we can do is note it for the scraper.
+			fmt.Fprintf(w, "# metrics write failed: %v\n", err)
+		}
+	})
+}

@@ -2,6 +2,9 @@ package hoard
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -129,6 +132,54 @@ func TestWriteMetricsNonHoardPolicy(t *testing.T) {
 		t.Fatalf("Audit on serial policy: %v", err)
 	}
 	th.Free(p)
+}
+
+func TestMetricsHandler(t *testing.T) {
+	a := MustNew(Config{Procs: 2, Metrics: true})
+	th := a.NewThread()
+	var ps []Ptr
+	for i := 0; i < 300; i++ {
+		ps = append(ps, th.Malloc(64))
+	}
+	srv := httptest.NewServer(a.MetricsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if err := LintMetrics(string(body)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{"hoard_mallocs_total", "hoard_footprint_bytes", "hoard_reserved_bytes"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("missing family %q in scrape:\n%s", want, body)
+		}
+	}
+	// Scrapes sample live: a second one sees the frees below.
+	for _, p := range ps {
+		th.Free(p)
+	}
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body2), "hoard_frees_total{allocator=\"hoard\"} 300") {
+		t.Fatalf("second scrape did not reflect frees:\n%s", body2)
+	}
 }
 
 func TestAuditUnderLoad(t *testing.T) {

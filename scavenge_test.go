@@ -1,0 +1,194 @@
+package hoard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// churn allocates count objects of size bytes and frees them all, pushing
+// emptied superblocks to the global heap.
+func churn(th *Thread, count, size int) {
+	ps := make([]Ptr, count)
+	for i := range ps {
+		ps[i] = th.Malloc(size)
+	}
+	for _, p := range ps {
+		th.Free(p)
+	}
+}
+
+func TestReleaseMemoryPublic(t *testing.T) {
+	a := MustNew(Config{Procs: 2})
+	th := a.NewThread()
+	churn(th, 2000, 64)
+
+	before := a.Stats()
+	released := a.ReleaseMemory()
+	if released == 0 {
+		t.Fatal("ReleaseMemory found nothing after a 2000-object churn")
+	}
+	st := a.Stats()
+	if st.FootprintBytes != before.FootprintBytes-released {
+		t.Fatalf("FootprintBytes = %d, want %d - %d", st.FootprintBytes, before.FootprintBytes, released)
+	}
+	if st.DecommittedBytes != released {
+		t.Fatalf("DecommittedBytes = %d, want %d", st.DecommittedBytes, released)
+	}
+	if st.ReservedBytes != before.FootprintBytes {
+		t.Fatalf("ReservedBytes = %d changed across a scavenge, want %d", st.ReservedBytes, before.FootprintBytes)
+	}
+	if st.ScavengeOps == 0 || st.ScavengedBytes != released {
+		t.Fatalf("ScavengeOps %d ScavengedBytes %d, want >0 / %d", st.ScavengeOps, st.ScavengedBytes, released)
+	}
+	// Demand returns: decommitted superblocks come back transparently.
+	churn(th, 2000, 64)
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics export carries the new families.
+	var b strings.Builder
+	if err := a.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintMetrics(b.String()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, b.String())
+	}
+	for _, want := range []string{
+		"hoard_reserved_bytes",
+		"hoard_decommitted_bytes",
+		"hoard_scavenge_passes_total",
+		"hoard_scavenged_bytes_total",
+		"hoard_decommits_total",
+		"hoard_recommits_total",
+		"hoard_heap_decommitted_superblocks",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("missing family %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestReleaseMemoryNonHoard(t *testing.T) {
+	a := MustNew(Config{Policy: PolicySerial})
+	th := a.NewThread()
+	churn(th, 100, 64)
+	if got := a.ReleaseMemory(); got != 0 {
+		t.Fatalf("serial ReleaseMemory = %d", got)
+	}
+	if err := a.StartScavenger(); err == nil {
+		t.Fatal("StartScavenger accepted on serial policy")
+	}
+	if _, err := New(Config{Policy: PolicySerial, Scavenge: ScavengeConfig{Enabled: true}}); err == nil {
+		t.Fatal("New accepted Scavenge.Enabled on serial policy")
+	}
+}
+
+func TestBackgroundScavenger(t *testing.T) {
+	a := MustNew(Config{Procs: 2, Scavenge: ScavengeConfig{
+		Enabled:        true,
+		HighWaterBytes: 2 * 8192,
+		LowWaterBytes:  8192,
+		ColdAge:        time.Nanosecond,
+		Interval:       time.Millisecond,
+		BytesPerSec:    1 << 30,
+		BurstBytes:     1 << 30,
+	}})
+	if err := a.StartScavenger(); err == nil {
+		t.Fatal("second StartScavenger accepted while running")
+	}
+	th := a.NewThread()
+	churn(th, 4000, 64)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for a.ScavengerStats().Passes == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := a.StopScavenger()
+	if st.Passes == 0 || st.ReleasedBytes == 0 {
+		t.Fatalf("background scavenger never released: %+v", st)
+	}
+	s := a.Stats()
+	if s.ScavengedBytes < st.ReleasedBytes {
+		t.Fatalf("Stats.ScavengedBytes %d below scavenger's own %d", s.ScavengedBytes, st.ReleasedBytes)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Stopped: restart works, stop again is a zero-safe no-op.
+	if a.StopScavenger(); a.ScavengerStats().Passes != st.Passes {
+		t.Fatal("double StopScavenger changed stats")
+	}
+	if err := a.StartScavenger(); err != nil {
+		t.Fatal(err)
+	}
+	a.StopScavenger()
+}
+
+// TestScavengerUnderProdConsChurn is the race-suite stress test: a
+// producer-consumer churn (the workload that parks the most superblocks on
+// the global heap) runs against the background scavenger and the invariant
+// auditor at full tilt. Every block is written through after allocation, so
+// a superblock handed out while decommitted would fault the vm guard.
+func TestScavengerUnderProdConsChurn(t *testing.T) {
+	const workers = 4
+	a := MustNew(Config{Procs: workers, Scavenge: ScavengeConfig{
+		Enabled:        true,
+		HighWaterBytes: 2 * 8192,
+		LowWaterBytes:  8192,
+		ColdAge:        time.Nanosecond,
+		Interval:       time.Millisecond,
+		BytesPerSec:    1 << 30,
+		BurstBytes:     1 << 30,
+	}})
+	if err := a.StartAuditor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := 30
+	if testing.Short() {
+		rounds = 5
+	}
+	var wg sync.WaitGroup
+	ch := make(chan Ptr, 1024)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.NewThread()
+			for r := 0; r < rounds; r++ {
+				// Produce: allocate and scribble.
+				for i := 0; i < 200; i++ {
+					p := th.Malloc(64 + (i % 4 * 64))
+					buf := th.Bytes(p, 64)
+					for j := range buf {
+						buf[j] = byte(w)
+					}
+					ch <- p
+				}
+				// Consume: verify a batch freed cross-thread.
+				for i := 0; i < 200; i++ {
+					p := <-ch
+					_ = th.Bytes(p, 64)
+					th.Free(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(ch)
+	for p := range ch {
+		a.NewThread().Free(p)
+	}
+
+	st := a.StopScavenger()
+	if _, failures, err := a.StopAuditor(); failures != 0 || err != nil {
+		t.Fatalf("%d audit failures under scavenging churn: %v", failures, err)
+	}
+	t.Logf("scavenger under churn: %+v", st)
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
