@@ -372,6 +372,14 @@ type Stats struct {
 	// BatchedBlocks counts the blocks moved through those native batch
 	// calls, in both directions.
 	BatchedBlocks int64
+	// LockFreeMallocs and LockFreeFrees count small-object operations
+	// served entirely by the lock-free warm paths — a CAS on the owning
+	// superblock's free-list word, no heap lock. Batch operations count
+	// each block they claim or return this way.
+	LockFreeMallocs, LockFreeFrees int64
+	// FastPathRetries counts CAS retries on those warm paths — the
+	// contention the lock-free protocol absorbed instead of blocking.
+	FastPathRetries int64
 }
 
 // Stats returns a snapshot of the allocator's counters.
@@ -397,6 +405,9 @@ func (a *Allocator) Stats() Stats {
 		BatchRefills:       st.BatchRefills,
 		BatchFlushes:       st.BatchFlushes,
 		BatchedBlocks:      st.BatchedBlocks,
+		LockFreeMallocs:    st.LockFreeMallocs,
+		LockFreeFrees:      st.LockFreeFrees,
+		FastPathRetries:    st.FastPathRetries,
 	}
 }
 

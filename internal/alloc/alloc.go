@@ -190,6 +190,23 @@ type Stats struct {
 	// ScavengedBytes is the cumulative byte total decommitted by the
 	// scavenger, including forced ReleaseMemory passes (Hoard only).
 	ScavengedBytes int64
+	// LockFreeMallocs counts mallocs served by the lock-free warm path —
+	// a CAS pop from an owned superblock's free list with no heap lock
+	// (Hoard only).
+	LockFreeMallocs int64
+	// LockFreeFrees counts owner-local frees that took the lock-free CAS
+	// push instead of the heap lock (Hoard only; remote lock-free frees
+	// are counted in RemoteFastFrees).
+	LockFreeFrees int64
+	// FastPathRetries counts CAS retries across all lock-free warm-path
+	// operations — the contention the fast paths absorb without blocking.
+	FastPathRetries int64
+	// LocalReuses counts malloc slow paths served by reformatting one of
+	// the heap's own empty superblocks to the needed class instead of
+	// taking one from the global heap (Hoard only). Each such reuse keeps
+	// a(i) unchanged, so it triggers no eviction — the local antidote to
+	// the take-then-evict ping-pong through the global heap.
+	LocalReuses int64
 }
 
 // MergeAllocatorCounters overwrites every allocator-internal counter in dst

@@ -46,48 +46,104 @@ func (h *Hoard) MallocBatch(t *alloc.Thread, size, n int, out []alloc.Ptr) int {
 	blockSize := h.classes.Size(class)
 	hp := h.heaps[t.State.(*threadState).heapIdx]
 
-	hp.Lock.Lock(e)
-	for got := 0; got < n; got++ {
-		p, ok := hp.AllocBlock(e, class)
-		if !ok && hp.PendingHintBytes() > 0 {
-			if hp.DrainAll(e) > 0 {
-				h.remoteDrains.Add(1)
-				p, ok = hp.AllocBlock(e, class)
+	// Lock-free prefix: claim runs from the warm superblock and then the
+	// warm ring (i == -1 is the warm slot), each with one CAS per candidate,
+	// until the batch is full or the candidates run dry. Whatever the prefix
+	// cannot serve (empty lists, contention, sealed) falls through to the
+	// locked refill below.
+	got := 0
+	if !h.cfg.DisableLockFree {
+		for i := -1; i < heap.WarmRingSize && got < n; i++ {
+			var ref *superblock.Ref
+			if i < 0 {
+				ref = hp.Warm(class)
+			} else {
+				ref = hp.WarmAt(class, i)
 			}
+			if ref == nil || ref.BlockSize != blockSize {
+				continue
+			}
+			k, retries := ref.TryPopRun(e, out[got:n])
+			if retries > 0 {
+				h.fastRetries.Add(int64(retries))
+			}
+			if k == 0 {
+				continue
+			}
+			got += k
+			h.lfMallocs.Add(int64(k))
+			if i >= 0 {
+				// A ring superblock is serving pops; make it the warm one
+				// so per-block Mallocs find it first.
+				hp.PromoteWarm(class, ref)
+			}
+			owner := ref.SB.OwnerID()
+			h.heaps[owner].HintAdd(int64(k) * int64(blockSize))
+			h.acct.OnMallocN(owner, k, int64(k)*int64(blockSize))
 		}
-		if !ok {
-			e.Charge(env.OpMallocSlow, 1)
-			g := h.heaps[0]
-			g.Lock.Lock(e)
-			sb := g.TakeSuper(e, class, blockSize)
-			if sb != nil {
-				// As in Malloc: ownership transfer must be visible
-				// before the global lock is released.
-				hp.Insert(sb)
-				h.globalHits.Add(1)
-				e.Charge(env.OpSuperblockMove, 1)
-			}
-			g.Lock.Unlock(e)
-			if sb == nil {
-				e.Charge(env.OpOSAlloc, 1)
-				sb = superblock.New(h.space, h.cfg.SuperblockSize, class, blockSize)
-				h.osReserves.Add(1)
-				hp.Insert(sb)
-			}
-			p, ok = hp.AllocBlock(e, class)
-			if !ok {
-				panic("hoard: fresh superblock has no free block")
-			}
-		}
-		out[got] = p
 	}
-	hp.Lock.Unlock(e)
+
+	if got < n {
+		lockedStart := got
+		env.LockWith(hp.Lock, e, "batch-refill")
+		for ; got < n; got++ {
+			p, ok := hp.AllocBlock(e, class)
+			if !ok && hp.PendingHintBytes() > 0 {
+				if hp.DrainAll(e) > 0 {
+					h.remoteDrains.Add(1)
+					p, ok = hp.AllocBlock(e, class)
+				}
+			}
+			if !ok {
+				e.Charge(env.OpMallocSlow, 1)
+				// As in Malloc: recycle an owned empty superblock before
+				// touching the global heap (no a(i) growth, no eviction).
+				if sb := hp.ReuseEmpty(e, class, blockSize); sb != nil {
+					h.localReuses.Add(1)
+					p, ok = hp.AllocBlock(e, class)
+					if !ok {
+						panic("hoard: reused superblock has no free block")
+					}
+					out[got] = p
+					continue
+				}
+				g := h.heaps[0]
+				env.LockWith(g.Lock, e, "global-take")
+				sb := g.TakeSuper(e, class, blockSize)
+				if sb != nil {
+					// As in Malloc: ownership transfer must be visible
+					// before the global lock is released.
+					hp.Insert(sb)
+					h.globalHits.Add(1)
+					e.Charge(env.OpSuperblockMove, 1)
+				}
+				g.Lock.Unlock(e)
+				if sb == nil {
+					e.Charge(env.OpOSAlloc, 1)
+					sb = superblock.New(h.space, h.cfg.SuperblockSize, class, blockSize)
+					h.osReserves.Add(1)
+					hp.Insert(sb)
+				}
+				p, ok = hp.AllocBlock(e, class)
+				if !ok {
+					panic("hoard: fresh superblock has no free block")
+				}
+			}
+			out[got] = p
+		}
+		if !h.cfg.DisableLockFree {
+			// Same as Malloc's refill: the lock is already paid for, so
+			// arm the warm ring for the misses that follow this batch.
+			hp.ArmRing(e, class)
+		}
+		hp.Lock.Unlock(e)
+		h.acct.OnMallocN(hp.ID, n-lockedStart, int64(n-lockedStart)*int64(blockSize))
+	}
 
 	// Per-block bookkeeping really happened; the batch op is a surcharge
 	// for marshalling (see the charging discipline in internal/env).
 	e.Charge(env.OpMallocBatch, 1)
 	e.Charge(env.OpMallocFast, int64(n))
-	h.acct.OnMallocN(hp.ID, n, int64(n)*int64(blockSize))
 	h.batchRefills.Add(1)
 	h.batchedBlocks.Add(int64(n))
 	return n
@@ -163,10 +219,50 @@ func (h *Hoard) FreeBatch(t *alloc.Thread, ps []alloc.Ptr) {
 		h.batchedBlocks.Add(int64(len(g.ps)))
 	}
 
+	var fastBytes int64
 	for len(groups) > 0 {
 		// Dispatch remote groups lock-free; collect the rest.
 		local := groups[:0]
 		for _, g := range groups {
+			if !h.cfg.DisableLockFree {
+				// Lock-free fast path, whoever owns the superblock:
+				// splice the whole group onto its free list with one
+				// CAS. All-or-nothing — a sealed superblock (migrating,
+				// evicting, decommitting) rejects the run and falls to
+				// the remote or locked path below.
+				ok, wasEmpty, retries := g.sb.FastFreeRun(e, g.ps)
+				if retries > 0 {
+					h.fastRetries.Add(int64(retries))
+				}
+				if ok {
+					k := len(g.ps)
+					bytes := int64(k) * int64(g.sb.BlockSize())
+					h.lfFrees.Add(int64(k))
+					owner := h.heaps[g.sb.OwnerID()]
+					if owner.ID == myIdx {
+						e.Charge(env.OpFree, int64(k))
+					} else {
+						e.Charge(env.OpRemoteFree, int64(k))
+						h.remote.Add(int64(k))
+						h.remoteFast.Add(int64(k))
+					}
+					owner.HintAdd(-bytes)
+					h.acct.OnFreeN(owner.ID, k, bytes)
+					_ = wasEmpty
+					if owner.ID != 0 {
+						owner.PublishWarm(g.sb.Class(), g.sb.SelfRef())
+					}
+					switch {
+					case owner.ID == myIdx:
+						fastBytes += bytes
+					case owner.ID == 0:
+						h.globalFastFreeEpilogue(e, g.sb)
+					case owner.HintSuspectsViolation():
+						h.confirmAndRestore(e, owner)
+					}
+					continue
+				}
+			}
 			id := g.sb.OwnerID()
 			if id != myIdx && id != 0 {
 				h.freeBatchRemote(e, g)
@@ -175,7 +271,7 @@ func (h *Hoard) FreeBatch(t *alloc.Thread, ps []alloc.Ptr) {
 			local = append(local, g)
 		}
 		if len(local) == 0 {
-			return
+			break
 		}
 		// Take the lock of the first local group's owner once and free
 		// every group that heap still owns under it. Groups whose
@@ -187,6 +283,14 @@ func (h *Hoard) FreeBatch(t *alloc.Thread, ps []alloc.Ptr) {
 			// before we acquired it); account the wasted pass like
 			// the per-block retry does.
 			e.Charge(env.OpListScan, 1)
+		}
+	}
+	if fastBytes > 0 {
+		// The lock-free groups bypassed the invariant check; the hint
+		// decides (cheaply, racily) whether to take the slow path once for
+		// the whole batch — the batch form of the per-block fast free.
+		if hp := h.heaps[myIdx]; hp.ID != 0 && hp.HintSuspectsViolation() {
+			h.confirmAndRestore(e, hp)
 		}
 	}
 }
@@ -219,7 +323,7 @@ func (h *Hoard) freeBatchRemote(e env.Env, g batchGroup) {
 func (h *Hoard) freeBatchLocked(e env.Env, hp *heap.Heap, groups []batchGroup) (missed []batchGroup) {
 	var nblk int
 	var bytes int64
-	hp.Lock.Lock(e)
+	env.LockWith(hp.Lock, e, "batch-free")
 	for _, g := range groups {
 		if g.sb.OwnerID() != hp.ID {
 			missed = append(missed, g)
@@ -233,12 +337,7 @@ func (h *Hoard) freeBatchLocked(e env.Env, hp *heap.Heap, groups []batchGroup) (
 		bytes += int64(len(g.ps)) * int64(g.sb.BlockSize())
 		if hp.ID == 0 {
 			h.remote.Add(int64(len(g.ps)))
-			if h.cfg.GlobalEmptyLimit > 0 && g.sb.Empty() &&
-				hp.Superblocks() > h.cfg.GlobalEmptyLimit {
-				hp.Remove(g.sb)
-				g.sb.Release(h.space)
-				e.Charge(env.OpOSAlloc, 1)
-			} else {
+			if !h.releaseGlobalEmpty(e, hp, g.sb) {
 				// Still parked: this batch touched it, refresh the
 				// scavenger's cold-age stamp as the per-block path does.
 				g.sb.SetParkedAt(h.clock())

@@ -78,6 +78,8 @@ func (h *Hoard) Describe(w io.Writer, e env.Env) {
 		st.Mallocs, st.LargeMallocs, st.Frees, st.RemoteFrees, st.RemoteFastFrees, st.RemoteDrains)
 	fmt.Fprintf(w, "batches: %d refills, %d flushes, %d blocks moved batched\n",
 		st.BatchRefills, st.BatchFlushes, st.BatchedBlocks)
+	fmt.Fprintf(w, "lock-free: %d mallocs, %d frees, %d CAS retries\n",
+		st.LockFreeMallocs, st.LockFreeFrees, st.FastPathRetries)
 	fmt.Fprintf(w, "superblocks: %d moved to global (%d live blocks carried), %d reused from global, %d from OS\n",
 		st.SuperblockMoves, st.MovedLiveBlocks, st.GlobalHeapHits, st.OSReserves)
 	fmt.Fprintf(w, "memory: %d B live (peak %d), %d B committed (peak %d)\n",
@@ -87,7 +89,7 @@ func (h *Hoard) Describe(w io.Writer, e env.Env) {
 	}
 	var rows []row
 	for _, hp := range h.heaps {
-		hp.Lock.Lock(e)
+		env.LockWith(hp.Lock, e, "describe")
 		rows = append(rows, row{HeapInfo{ID: hp.ID, U: hp.U(), A: hp.A(), Superblocks: hp.Superblocks()}})
 		hp.Lock.Unlock(e)
 	}
@@ -113,7 +115,7 @@ func (h *Hoard) Describe(w io.Writer, e env.Env) {
 func (h *Hoard) Heaps(e env.Env) []HeapInfo {
 	out := make([]HeapInfo, 0, len(h.heaps))
 	for _, hp := range h.heaps {
-		hp.Lock.Lock(e)
+		env.LockWith(hp.Lock, e, "describe")
 		out = append(out, HeapInfo{ID: hp.ID, U: hp.U(), A: hp.A(), Superblocks: hp.Superblocks()})
 		hp.Lock.Unlock(e)
 	}

@@ -67,6 +67,12 @@ type Config struct {
 	// everything, matching the paper's implementation. This is an
 	// extension used by the ablation experiments.
 	GlobalEmptyLimit int
+	// DisableLockFree turns off the lock-free warm paths (DESIGN.md §11),
+	// forcing every malloc and owner-local free through the heap lock as
+	// in the paper's protocol. The zero value — warm paths on — is the
+	// production configuration; the A11 experiment uses this switch as its
+	// baseline arm.
+	DisableLockFree bool
 }
 
 // KNone requests a literal K of zero (no slack) in Config.K.
@@ -154,6 +160,10 @@ type Hoard struct {
 	batchedBlocks atomic.Int64
 	scavPasses    atomic.Int64
 	scavBytes     atomic.Int64
+	lfMallocs     atomic.Int64
+	lfFrees       atomic.Int64
+	fastRetries   atomic.Int64
+	localReuses   atomic.Int64
 
 	// clock stamps superblocks parked on the global heap, feeding the
 	// scavenger's cold-age filter. Wall clock by default; SetClock installs
@@ -231,7 +241,52 @@ func (h *Hoard) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 	blockSize := h.classes.Size(class)
 	hp := h.heaps[t.State.(*threadState).heapIdx]
 
-	hp.Lock.Lock(e)
+	// Lock-free warm path (DESIGN.md §11): pop a warm superblock's free
+	// list with one CAS. No heap lock, no list scan — in steady state
+	// this is the whole malloc. The candidates are the Ref the locked
+	// path last allocated from, then the ring of superblocks the free
+	// fast path reported free space on; a candidate whose list is empty,
+	// whose superblock is sealed (migrating/decommitted), or whose ref is
+	// stale just fails its pop and the next one is tried. Only when every
+	// candidate fails does the malloc take the lock.
+	if !h.cfg.DisableLockFree {
+		for i := -1; i < heap.WarmRingSize; i++ {
+			var ref *superblock.Ref
+			if i < 0 {
+				ref = hp.Warm(class)
+			} else {
+				ref = hp.WarmAt(class, i)
+			}
+			if ref == nil || ref.BlockSize != blockSize {
+				continue
+			}
+			p, ok, retries := ref.TryPop(e)
+			if retries > 0 {
+				h.fastRetries.Add(int64(retries))
+			}
+			if !ok {
+				continue
+			}
+			h.lfMallocs.Add(1)
+			e.Charge(env.OpMallocFast, 1)
+			if i >= 0 {
+				// A ring candidate served; make it the first target so
+				// the next pops skip the dry refs before it.
+				hp.PromoteWarm(class, ref)
+			}
+			// Attribute to the current owner: the superblock can have
+			// migrated since this heap cached the ref. A racing
+			// migration right here misattributes one block's hint,
+			// which the owner's next SyncAll squashes; the sharded
+			// accounting is sum-exact regardless of shard.
+			owner := ref.SB.OwnerID()
+			h.heaps[owner].HintAdd(int64(blockSize))
+			h.acct.OnMalloc(owner, blockSize)
+			return p
+		}
+	}
+
+	env.LockWith(hp.Lock, e, "malloc-refill")
 	p, ok := hp.AllocBlock(e, class)
 	if !ok && hp.PendingHintBytes() > 0 {
 		// Remote frees parked on our own superblocks may satisfy the
@@ -241,11 +296,20 @@ func (h *Hoard) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 			p, ok = hp.AllocBlock(e, class)
 		}
 	}
-	if !ok {
-		// Slow path: pull a superblock from the global heap, or the OS.
+	for !ok {
+		// Slow path. First try recycling one of this heap's own empty
+		// superblocks into the needed class — it stays off the global lock
+		// and, because a(i) does not change, triggers no eviction (where a
+		// global take grows a(i) and routinely starts an evict/take cycle).
 		e.Charge(env.OpMallocSlow, 1)
+		if sb := hp.ReuseEmpty(e, class, blockSize); sb != nil {
+			h.localReuses.Add(1)
+			p, ok = hp.AllocBlock(e, class)
+			continue
+		}
+		// Otherwise pull a superblock from the global heap, or the OS.
 		g := h.heaps[0]
-		g.Lock.Lock(e)
+		env.LockWith(g.Lock, e, "global-take")
 		sb := g.TakeSuper(e, class, blockSize)
 		if sb != nil {
 			// Insert (which transfers ownership) must happen before
@@ -258,16 +322,25 @@ func (h *Hoard) Malloc(t *alloc.Thread, size int) alloc.Ptr {
 			e.Charge(env.OpSuperblockMove, 1)
 		}
 		g.Lock.Unlock(e)
-		if sb == nil {
+		fresh := sb == nil
+		if fresh {
 			e.Charge(env.OpOSAlloc, 1)
 			sb = superblock.New(h.space, h.cfg.SuperblockSize, class, blockSize)
 			h.osReserves.Add(1)
 			hp.Insert(sb)
 		}
 		p, ok = hp.AllocBlock(e, class)
-		if !ok {
+		if !ok && fresh {
 			panic("hoard: fresh superblock has no free block")
 		}
+		// A taken superblock can arrive full — stale warm Refs pop from
+		// global-heap superblocks, so TakeSuper's books can lag the live
+		// words. Go around and take another (or fall through to the OS).
+	}
+	if !h.cfg.DisableLockFree {
+		// We paid for the lock; arm the whole warm ring with this class's
+		// partial superblocks so the next misses stay lock-free.
+		hp.ArmRing(e, class)
 	}
 	hp.Lock.Unlock(e)
 	e.Charge(env.OpMallocFast, 1)
@@ -316,6 +389,62 @@ func (h *Hoard) Free(t *alloc.Thread, p alloc.Ptr) {
 func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock, p alloc.Ptr) {
 	myIdx := t.State.(*threadState).heapIdx
 	blockSize := sb.BlockSize()
+
+	// Lock-free warm path: a free is one CAS push onto the superblock's
+	// unified free list — and a CAS push works from any thread, so the
+	// same path serves owner-local frees, cross-heap frees, and frees to
+	// global-heap superblocks; only the accounting differs. The sealed
+	// bit is the fence — eviction, heap transfer, decommit, and release
+	// all seal, so a successful CAS proves the superblock was
+	// fast-path-eligible at that instant. On a seal race FastFree rolls
+	// itself back and we fall through to the locked protocol below.
+	if !h.cfg.DisableLockFree {
+		ok, wasEmpty, retries := sb.FastFree(e, p)
+		if retries > 0 {
+			h.fastRetries.Add(int64(retries))
+		}
+		if ok {
+			h.lfFrees.Add(1)
+			// Attribute to the post-CAS owner: the superblock can have
+			// migrated since the lookup. A racing migration here
+			// misattributes one block's hint, which the owner's next
+			// SyncAll squashes; the sharded accounting is sum-exact
+			// regardless of shard.
+			owner := h.heaps[sb.OwnerID()]
+			if owner.ID == myIdx {
+				e.Charge(env.OpFree, 1)
+			} else {
+				// Same CAS, but it crossed heaps: charge it as the
+				// remote-free fast path and count it as remote traffic.
+				e.Charge(env.OpRemoteFree, 1)
+				h.remote.Add(1)
+				h.remoteFast.Add(1)
+			}
+			owner.HintAdd(-int64(blockSize))
+			h.acct.OnFree(owner.ID, blockSize)
+			_ = wasEmpty
+			if owner.ID != 0 {
+				// Feed the owner's warm ring so its next mallocs find
+				// the space this push just created without the lock.
+				// Every free publishes (PublishWarm dedups consecutive
+				// repeats): the block most likely to be wanted next is
+				// the one that just came back.
+				owner.PublishWarm(sb.Class(), sb.SelfRef())
+			}
+			if owner.ID != 0 {
+				// The emptiness invariant is watched through the hint;
+				// a tripped hint escalates to a locked
+				// confirm-reconcile-restore pass.
+				if owner.HintSuspectsViolation() {
+					h.confirmAndRestore(e, owner)
+				}
+			} else {
+				h.globalFastFreeEpilogue(e, sb)
+			}
+			return
+		}
+	}
+
 	for {
 		id := sb.OwnerID()
 		switch {
@@ -324,7 +453,7 @@ func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock,
 			// directly. Ownership can change while we wait, so
 			// re-check after acquiring — the paper's free protocol.
 			hp := h.heaps[id]
-			hp.Lock.Lock(e)
+			env.LockWith(hp.Lock, e, "free-local")
 			if sb.OwnerID() != id {
 				hp.Lock.Unlock(e)
 				e.Charge(env.OpListScan, 1)
@@ -338,7 +467,7 @@ func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock,
 			// a free that empties it can trigger the
 			// GlobalEmptyLimit release immediately.
 			g := h.heaps[0]
-			g.Lock.Lock(e)
+			env.LockWith(g.Lock, e, "free-global")
 			if sb.OwnerID() != 0 {
 				g.Lock.Unlock(e)
 				e.Charge(env.OpListScan, 1)
@@ -385,12 +514,7 @@ func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, 
 	// in scavenge.go is the paced one.) Superblocks that stay parked get
 	// a fresh stamp — this free touched them, so they are not cold.
 	if hp.ID == 0 {
-		if h.cfg.GlobalEmptyLimit > 0 && sb.Empty() &&
-			hp.Superblocks() > h.cfg.GlobalEmptyLimit {
-			hp.Remove(sb)
-			sb.Release(h.space)
-			e.Charge(env.OpOSAlloc, 1)
-		} else {
+		if !h.releaseGlobalEmpty(e, hp, sb) {
 			sb.SetParkedAt(h.clock())
 		}
 	}
@@ -411,6 +535,51 @@ func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, 
 	hp.Lock.Unlock(e)
 }
 
+// releaseGlobalEmpty applies the GlobalEmptyLimit policy to one global-heap
+// superblock the caller just freed into, under the global lock (held by the
+// caller): if the free emptied it while the global heap is over its cap,
+// return it to the OS. The superblock is sealed first and emptiness
+// re-confirmed — a stale warm Ref may pop from global-heap superblocks, and
+// Release must not race such a pop. (A free cannot un-empty it: an empty
+// superblock has no blocks out.) Reports whether the superblock was
+// released; if not it stays on the heap, unsealed.
+func (h *Hoard) releaseGlobalEmpty(e env.Env, g *heap.Heap, sb *superblock.Superblock) bool {
+	if h.cfg.GlobalEmptyLimit <= 0 || !sb.Empty() ||
+		g.Superblocks() <= h.cfg.GlobalEmptyLimit {
+		return false
+	}
+	sb.Seal()
+	if !sb.Empty() {
+		sb.Unseal()
+		return false
+	}
+	g.Sync(sb)
+	g.Remove(sb)
+	sb.Release(h.space)
+	e.Charge(env.OpOSAlloc, 1)
+	return true
+}
+
+// globalFastFreeEpilogue finishes a lock-free free that landed on a
+// global-heap superblock: refresh the scavenger's cold-age stamp (this free
+// touched the superblock, so it is not cold), and when the free emptied it,
+// take the global lock once to apply the GlobalEmptyLimit release policy —
+// the same policy the locked free path applies. Only the emptying
+// transition pays the lock, so warm frees into global-heap superblocks stay
+// lock-free.
+func (h *Hoard) globalFastFreeEpilogue(e env.Env, sb *superblock.Superblock) {
+	sb.SetParkedAt(h.clock())
+	if h.cfg.GlobalEmptyLimit <= 0 || !sb.Empty() {
+		return
+	}
+	g := h.heaps[0]
+	env.LockWith(g.Lock, e, "free-global")
+	if sb.OwnerID() == 0 {
+		h.releaseGlobalEmpty(e, g, sb)
+	}
+	g.Lock.Unlock(e)
+}
+
 // restoreInvariant moves one at-least-f-empty superblock from hp (whose lock
 // the caller holds) to the global heap, as the paper's free path prescribes.
 // It reports whether a victim was found; a single free can violate the
@@ -421,12 +590,19 @@ func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) bool {
 	if victim == nil {
 		return false
 	}
+	// Seal first: from here no lock-free op can land on the victim (an
+	// in-flight CAS fails against the seal's version bump), so its live
+	// count is stable. Then reconcile its books — Remove subtracts the
+	// accounted count, and any unreconciled fast-path drift would leak
+	// into this heap's u forever.
+	victim.Seal()
+	hp.Sync(victim)
 	hp.Remove(victim)
 	e.Charge(env.OpSuperblockMove, 1)
 	h.sbMoves.Add(1)
 	h.movedLive.Add(int64(victim.InUse()))
 	g := h.heaps[0]
-	g.Lock.Lock(e)
+	env.LockWith(g.Lock, e, "evict-insert")
 	if h.cfg.GlobalEmptyLimit > 0 && victim.Empty() &&
 		g.Superblocks() >= h.cfg.GlobalEmptyLimit {
 		g.Lock.Unlock(e)
@@ -441,13 +617,30 @@ func (h *Hoard) restoreInvariant(e env.Env, hp *heap.Heap) bool {
 	return true
 }
 
+// confirmAndRestore is the hint path's slow half: a fast free saw
+// HintSuspectsViolation, so try the heap lock (never block — the fast path's
+// point is not waiting here; whoever holds the lock runs the same check on
+// the way out), reconcile the books, and evict until the *confirmed*
+// invariant holds. The atomic-snapshot-then-lock-confirm pattern from the
+// tentpole: the hint is the snapshot, SyncAll+InvariantViolated the
+// confirmation.
+func (h *Hoard) confirmAndRestore(e env.Env, hp *heap.Heap) {
+	if !env.TryLockWith(hp.Lock, e, "invariant-confirm") {
+		return
+	}
+	hp.SyncAll(e)
+	for hp.InvariantViolated() && h.restoreInvariant(e, hp) {
+	}
+	hp.Lock.Unlock(e)
+}
+
 // tryDrainOwner opportunistically reconciles a heap's remote stacks when a
 // pusher notices they have grown. It must not block — blocking would
 // reintroduce the contention the fast path removes — so it gives up if the
 // owner's lock is busy; the owner will drain on its own next locked
 // operation.
 func (h *Hoard) tryDrainOwner(e env.Env, hp *heap.Heap) {
-	if !hp.Lock.TryLock(e) {
+	if !env.TryLockWith(hp.Lock, e, "drain-nudge") {
 		return
 	}
 	if hp.DrainAll(e) > 0 {
@@ -465,12 +658,16 @@ func (h *Hoard) tryDrainOwner(e env.Env, hp *heap.Heap) {
 // assertions exact; production callers never need it.
 func (h *Hoard) Reconcile(e env.Env) {
 	for _, hp := range h.heaps {
-		hp.Lock.Lock(e)
+		env.LockWith(hp.Lock, e, "reconcile")
 		if hp.DrainAll(e) > 0 {
 			h.remoteDrains.Add(1)
 		}
-		if hp.ID != 0 && hp.InvariantViolated() {
-			h.restoreInvariant(e, hp)
+		// Fold the lock-free paths' drift into the books so the invariant
+		// check below — and any quiescent assertion after us — is exact.
+		hp.SyncAll(e)
+		if hp.ID != 0 {
+			for hp.InvariantViolated() && h.restoreInvariant(e, hp) {
+			}
 		}
 		hp.Lock.Unlock(e)
 	}
@@ -550,14 +747,21 @@ func (h *Hoard) Stats() alloc.Stats {
 	st.BatchedBlocks = h.batchedBlocks.Load()
 	st.ScavengePasses = h.scavPasses.Load()
 	st.ScavengedBytes = h.scavBytes.Load()
+	st.LockFreeMallocs = h.lfMallocs.Load()
+	st.LockFreeFrees = h.lfFrees.Load()
+	st.FastPathRetries = h.fastRetries.Load()
+	st.LocalReuses = h.localReuses.Load()
 	return st
 }
 
 // HeapSnapshot reports (u, a, superblocks) for heap id; used by tests and
-// the blowup experiments.
+// the blowup experiments. The caller must be quiescent. u is the live
+// figure — the accounted u plus any fast-path drift the next reconciliation
+// would fold in — so it is exact for a quiesced allocator even when the
+// lock-free paths have left the accounted books stale.
 func (h *Hoard) HeapSnapshot(id int) (u, a int64, superblocks int) {
 	hp := h.heaps[id]
-	return hp.U(), hp.A(), hp.Superblocks()
+	return hp.LiveU(), hp.A(), hp.Superblocks()
 }
 
 // NumHeaps returns the number of heaps including the global heap.
@@ -571,15 +775,22 @@ func (h *Hoard) CheckIntegrity() error {
 		if err := hp.CheckIntegrity(); err != nil {
 			return err
 		}
-		u += hp.U()
+		// The conservation check below is against the live gauge, which
+		// tracks completed mallocs/frees — so sum the superblocks' live
+		// words, not the accounted u (the books may lag by unreconciled
+		// fast-path drift until the next SyncAll).
+		u += hp.LiveU()
 		// The emptiness invariant is enforced at frees; mallocs may
 		// leave a heap transiently below it, but whenever it is
 		// violated an evictable superblock must exist — except in one
 		// benign state: every superblock completely full, yet below
 		// (1-f)*a in bytes because the class's block size does not
 		// divide S (capacity waste). The free path simply finds no
-		// victim there.
-		if hp.ID != 0 && hp.InvariantViolated() &&
+		// victim there. The check reads the accounted u, so it only
+		// applies when the books are caught up with the live words —
+		// with drift outstanding, the accounted figure can sit below an
+		// invariant the hint path is already watching.
+		if hp.ID != 0 && hp.LiveU() == hp.U() && hp.InvariantViolated() &&
 			hp.FindEvictable(&env.RealEnv{}) == nil && !hp.AllFull() {
 			return fmt.Errorf("hoard: heap %d violates emptiness invariant with no evictable superblock (u=%d a=%d)",
 				hp.ID, hp.U(), hp.A())
@@ -587,11 +798,11 @@ func (h *Hoard) CheckIntegrity() error {
 	}
 	// Heap-resident in-use bytes plus large objects must equal the live
 	// gauge, after discounting blocks parked on remote-free stacks (they
-	// still count in u but were already subtracted from the live gauge
-	// when pushed). Large objects are exactly the reserved bytes not owned
-	// by heaps — reserved, not committed, because a scavenged superblock
-	// still counts S toward its heap's a while its committed bytes are
-	// gone.
+	// still count as in use but were already subtracted from the live
+	// gauge when pushed). Large objects are exactly the reserved bytes not
+	// owned by heaps — reserved, not committed, because a scavenged
+	// superblock still counts S toward its heap's a while its committed
+	// bytes are gone.
 	var heapBytes, pending int64
 	for _, hp := range h.heaps {
 		heapBytes += hp.A()

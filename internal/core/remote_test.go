@@ -11,8 +11,12 @@ import (
 
 // TestRemoteFastPathCounters: a cross-thread free to a per-processor heap
 // must take the lock-free push, and reconciliation must recover the blocks.
+// Runs with DisableLockFree so the frees exercise the remote-stack protocol
+// (push, park, owner-side drain) rather than the unified direct push — the
+// stack is the fallback for sealed superblocks, so its machinery stays
+// pinned here; TestUnifiedFastFreeCrossHeap covers the direct path.
 func TestRemoteFastPathCounters(t *testing.T) {
-	h := newHoard(Config{Heaps: 4})
+	h := newHoard(Config{Heaps: 4, DisableLockFree: true})
 	producer := thread(h, 0) // heap 1
 	consumer := thread(h, 1) // heap 2
 	var ps []alloc.Ptr
@@ -65,10 +69,12 @@ func TestLocalFreeTakesNoFastPath(t *testing.T) {
 	}
 }
 
-// TestRemoteDoubleFreeDetected: a double free through the remote path is
-// deferred to drain time but must still panic.
+// TestRemoteDoubleFreeDetected: a double free through the remote stack is
+// deferred to drain time but must still panic. DisableLockFree forces the
+// stack path; the unified direct push detects the duplicate immediately
+// (TestUnifiedFastFreeDoubleFree).
 func TestRemoteDoubleFreeDetected(t *testing.T) {
-	h := newHoard(Config{Heaps: 2})
+	h := newHoard(Config{Heaps: 2, DisableLockFree: true})
 	producer := thread(h, 0)
 	consumer := thread(h, 1)
 	p := h.Malloc(producer, 64)

@@ -30,7 +30,7 @@ func (h *Hoard) Now() int64 { return h.clock() }
 // global heap's lock.
 func (h *Hoard) GlobalEmptyBytes(e env.Env) int64 {
 	g := h.heaps[0]
-	g.Lock.Lock(e)
+	env.LockWith(g.Lock, e, "scavenge")
 	n := g.EmptyCommittedBytes(e)
 	g.Lock.Unlock(e)
 	return n
@@ -41,7 +41,7 @@ func (h *Hoard) GlobalEmptyBytes(e env.Env) int64 {
 // of queueing behind allocation traffic.
 func (h *Hoard) TryGlobalEmptyBytes(e env.Env) (int64, bool) {
 	g := h.heaps[0]
-	if !g.Lock.TryLock(e) {
+	if !env.TryLockWith(g.Lock, e, "scavenge") {
 		return 0, false
 	}
 	n := g.EmptyCommittedBytes(e)
@@ -56,7 +56,7 @@ func (h *Hoard) TryGlobalEmptyBytes(e env.Env) (int64, bool) {
 // TryScavengeGlobal.
 func (h *Hoard) ScavengeGlobal(e env.Env, maxBytes int64, coldAgeNS int64) int64 {
 	g := h.heaps[0]
-	g.Lock.Lock(e)
+	env.LockWith(g.Lock, e, "scavenge")
 	n := h.scavengeLocked(e, maxBytes, coldAgeNS)
 	g.Lock.Unlock(e)
 	return n
@@ -66,7 +66,7 @@ func (h *Hoard) ScavengeGlobal(e env.Env, maxBytes int64, coldAgeNS int64) int64
 // is released) when the global heap was contended.
 func (h *Hoard) TryScavengeGlobal(e env.Env, maxBytes int64, coldAgeNS int64) (int64, bool) {
 	g := h.heaps[0]
-	if !g.Lock.TryLock(e) {
+	if !env.TryLockWith(g.Lock, e, "scavenge") {
 		return 0, false
 	}
 	n := h.scavengeLocked(e, maxBytes, coldAgeNS)

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
+	"hoardgo/internal/workload"
+)
+
+// This file is the A11 experiment: the zero-lock steady state ablation
+// (DESIGN.md §11). The real-environment half counts actual heap-lock
+// acquisitions — attributed per call site by env.CountingLockFactory — on
+// the contended workloads with the lock-free warm paths on versus off; the
+// simulator half sweeps P to show the throughput effect of removing the
+// lock cost from the warm paths. cmd/hoardbench serializes both into the
+// committed BENCH_PR6.json artifact.
+
+// LockFreeSite is one (lock x call-site) attribution cell in the artifact.
+type LockFreeSite struct {
+	Lock      string `json:"lock"`
+	Label     string `json:"label"`
+	Acquires  int64  `json:"acquires"`
+	Contended int64  `json:"contended"`
+	TryMisses int64  `json:"try_misses"`
+}
+
+// LockFreeVariant is one arm of the lock-acquisition measurement.
+type LockFreeVariant struct {
+	// LockAcquires is the total lock acquisitions across the run, over
+	// every lock the allocator creates.
+	LockAcquires int64 `json:"lock_acquires"`
+	// Ops is completed mallocs + frees.
+	Ops int64 `json:"ops"`
+	// LocksPerOp is LockAcquires / Ops.
+	LocksPerOp float64 `json:"locks_per_op"`
+	// LockFreeMallocs, LockFreeFrees and FastPathRetries confirm which
+	// path ran: all zero on the locked arm.
+	LockFreeMallocs int64 `json:"lock_free_mallocs"`
+	LockFreeFrees   int64 `json:"lock_free_frees"`
+	FastPathRetries int64 `json:"fast_path_retries"`
+	// Sites is the busiest-first per-call-site attribution table.
+	Sites []LockFreeSite `json:"sites"`
+}
+
+// LockFreeLockResult compares lock acquisitions per operation with the
+// lock-free warm paths enabled versus disabled on one workload.
+type LockFreeLockResult struct {
+	// Workload is "prodcons" or "larson"; Procs the thread count.
+	Workload string `json:"workload"`
+	Procs    int    `json:"procs"`
+	// Fast is the production arm (warm paths on); Locked the ablation
+	// (DisableLockFree — every op through the heap lock, the PR 5
+	// protocol).
+	Fast   LockFreeVariant `json:"fast"`
+	Locked LockFreeVariant `json:"locked"`
+	// Improvement is Locked.LocksPerOp / Fast.LocksPerOp — the
+	// acceptance criterion requires >= 10 on both workloads at P=8.
+	Improvement float64 `json:"improvement"`
+}
+
+// lockFreeSites converts a factory's attribution table, keeping it
+// busiest-first.
+func lockFreeSites(clf *env.CountingLockFactory) []LockFreeSite {
+	var out []LockFreeSite
+	for _, s := range clf.SiteStats() {
+		out = append(out, LockFreeSite{
+			Lock:      s.Lock,
+			Label:     s.Label,
+			Acquires:  s.Acquires,
+			Contended: s.Contended,
+			TryMisses: s.TryMisses,
+		})
+	}
+	return out
+}
+
+// measureLockFreeArm runs one workload on real goroutines with every
+// allocator lock wrapped in a counting factory. Real-environment runs are
+// nondeterministic in timing but exact in counting: every heap-lock
+// acquisition the protocol performs is attributed to its call site.
+func measureLockFreeArm(bench string, procs int, disable bool, scale Scale) LockFreeVariant {
+	clf := &env.CountingLockFactory{Inner: env.RealLockFactory{}}
+	mk := func(p int, _ env.LockFactory) alloc.Allocator {
+		return core.New(core.Config{Heaps: 2 * p, DisableLockFree: disable}, clf)
+	}
+	h := workload.NewRealMaker("hoard", procs, mk)
+	var res workload.Result
+	switch bench {
+	case "prodcons":
+		cfg := workload.DefaultProdCons(procs)
+		if scale == Quick {
+			cfg.Rounds, cfg.Batch = 20, 400
+		}
+		res, _ = workload.ProdCons(h, cfg)
+	case "larson":
+		cfg := workload.DefaultLarson(procs)
+		if scale == Quick {
+			cfg.Rounds, cfg.OpsPerRound, cfg.SlotsPerWindow = 3, 1500, 500
+		}
+		res = workload.Larson(h, cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown lockfree workload %q", bench))
+	}
+	if err := h.Allocator().CheckIntegrity(); err != nil {
+		panic(fmt.Sprintf("lockfreebench: integrity after %s: %v", bench, err))
+	}
+	st := res.Alloc
+	ops := st.Mallocs + st.Frees
+	v := LockFreeVariant{
+		LockAcquires:    clf.Acquires(),
+		Ops:             ops,
+		LockFreeMallocs: st.LockFreeMallocs,
+		LockFreeFrees:   st.LockFreeFrees,
+		FastPathRetries: st.FastPathRetries,
+		Sites:           lockFreeSites(clf),
+	}
+	if ops > 0 {
+		v.LocksPerOp = float64(v.LockAcquires) / float64(ops)
+	}
+	return v
+}
+
+// MeasureLockFreeLocks runs the real-environment halves of A11: prodcons
+// and larson at the given thread count, both arms each.
+func MeasureLockFreeLocks(procs int, scale Scale) []LockFreeLockResult {
+	var out []LockFreeLockResult
+	for _, bench := range []string{"prodcons", "larson"} {
+		r := LockFreeLockResult{
+			Workload: bench,
+			Procs:    procs,
+			Fast:     measureLockFreeArm(bench, procs, false, scale),
+			Locked:   measureLockFreeArm(bench, procs, true, scale),
+		}
+		if r.Fast.LocksPerOp > 0 {
+			r.Improvement = r.Locked.LocksPerOp / r.Fast.LocksPerOp
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// LockFreeSimEntry is one deterministic simulator run in the artifact.
+type LockFreeSimEntry struct {
+	Bench           string  `json:"bench"`
+	Arm             string  `json:"arm"`
+	Procs           int     `json:"procs"`
+	VirtualMS       float64 `json:"virtual_ms"`
+	OpsPerVirtualMS float64 `json:"ops_per_virtual_ms"`
+	LockFreeMallocs int64   `json:"lock_free_mallocs"`
+	LockFreeFrees   int64   `json:"lock_free_frees"`
+}
+
+// lockFreeSimProcs is the P sweep of the simulator half.
+func lockFreeSimProcs() []int { return []int{1, 2, 4, 8, 16} }
+
+// LockFreeSimResults sweeps P over threadtest, larson, and prodcons on both
+// arms of bare Hoard in the simulator. The simulated throughput is the
+// guard: the fast paths must not slow any workload at any P (they remove
+// the heap lock's virtual cost from warm operations, so they can only
+// help). Deterministic for a given scale.
+func LockFreeSimResults(opts Options) []LockFreeSimEntry {
+	var out []LockFreeSimEntry
+	arms := []struct {
+		name    string
+		disable bool
+	}{
+		{"fast", false},
+		{"locked", true},
+	}
+	mkArm := func(disable bool) func(p int, lf env.LockFactory) alloc.Allocator {
+		return func(p int, lf env.LockFactory) alloc.Allocator {
+			return core.New(core.Config{Heaps: 2 * p, DisableLockFree: disable}, lf)
+		}
+	}
+	for _, id := range []string{"threadtest", "larson"} {
+		def, _ := FigureByID(id)
+		run := def.Run(opts.Scale)
+		for _, procs := range lockFreeSimProcs() {
+			for _, arm := range arms {
+				h := workload.NewSimMaker("hoard", procs, opts.Cost, mkArm(arm.disable))
+				res := run(h, procs)
+				out = append(out, lockFreeSimEntry(id, arm.name, procs, res))
+			}
+		}
+	}
+	for _, procs := range lockFreeSimProcs() {
+		cfg := workload.DefaultProdCons(procs)
+		if opts.Scale == Quick {
+			cfg.Rounds, cfg.Batch = 20, 400
+		}
+		for _, arm := range arms {
+			h := workload.NewSimMaker("hoard", procs, opts.Cost, mkArm(arm.disable))
+			res, _ := workload.ProdCons(h, cfg)
+			out = append(out, lockFreeSimEntry("prodcons", arm.name, procs, res))
+		}
+	}
+	return out
+}
+
+func lockFreeSimEntry(bench, arm string, procs int, res workload.Result) LockFreeSimEntry {
+	e := LockFreeSimEntry{
+		Bench:           bench,
+		Arm:             arm,
+		Procs:           procs,
+		VirtualMS:       float64(res.ElapsedNS) / 1e6,
+		LockFreeMallocs: res.Alloc.LockFreeMallocs,
+		LockFreeFrees:   res.Alloc.LockFreeFrees,
+	}
+	if res.ElapsedNS > 0 {
+		e.OpsPerVirtualMS = float64(res.Ops) / (float64(res.ElapsedNS) / 1e6)
+	}
+	return e
+}
+
+// LockFree renders A11 as two tables' worth of rows: the real-environment
+// lock-acquisition comparison first, then the simulator throughput sweep.
+func LockFree(opts Options, progress func(string, int)) Table {
+	t := Table{
+		ID: "lockfree", Title: "A11",
+		Paper:  "zero-lock steady state: heap-lock acquisitions per op and simulated throughput, warm paths on vs off",
+		Header: []string{"bench", "procs", "metric", "fast", "locked", "ratio"},
+	}
+	const procs = 8
+	if progress != nil {
+		progress("hoard/lockfree(real)", procs)
+	}
+	for _, r := range MeasureLockFreeLocks(procs, opts.Scale) {
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.Procs),
+			"locks/op",
+			fmt.Sprintf("%.4f", r.Fast.LocksPerOp),
+			fmt.Sprintf("%.4f", r.Locked.LocksPerOp),
+			fmt.Sprintf("%.1fx", r.Improvement),
+		})
+	}
+	if progress != nil {
+		progress("hoard/lockfree(sim)", procs)
+	}
+	sims := LockFreeSimResults(opts)
+	byKey := map[string]LockFreeSimEntry{}
+	for _, e := range sims {
+		byKey[fmt.Sprintf("%s/%d/%s", e.Bench, e.Procs, e.Arm)] = e
+	}
+	for _, e := range sims {
+		if e.Arm != "fast" {
+			continue
+		}
+		locked := byKey[fmt.Sprintf("%s/%d/locked", e.Bench, e.Procs)]
+		ratio := 0.0
+		if locked.OpsPerVirtualMS > 0 {
+			ratio = e.OpsPerVirtualMS / locked.OpsPerVirtualMS
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Bench,
+			fmt.Sprintf("%d", e.Procs),
+			"ops/virtual ms",
+			fmt.Sprintf("%.0f", e.OpsPerVirtualMS),
+			fmt.Sprintf("%.0f", locked.OpsPerVirtualMS),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+	}
+	return t
+}
+
+// LockFreeSmoke is the CI gate (make lockfree-smoke): a quick prodcons run
+// whose fast arm must keep heap-lock acquisitions per operation under
+// maxLocksPerOp, and whose improvement over the locked arm must reach
+// minImprovement. Returns an error instead of asserting so cmd/hoardbench
+// can print the numbers before failing.
+func LockFreeSmoke(maxLocksPerOp, minImprovement float64) ([]LockFreeLockResult, error) {
+	rs := MeasureLockFreeLocks(8, Quick)
+	for _, r := range rs {
+		if r.Fast.LocksPerOp > maxLocksPerOp {
+			return rs, fmt.Errorf("lockfree-smoke: %s fast arm takes %.4f locks/op, want <= %.4f",
+				r.Workload, r.Fast.LocksPerOp, maxLocksPerOp)
+		}
+		if r.Improvement < minImprovement {
+			return rs, fmt.Errorf("lockfree-smoke: %s improvement %.1fx, want >= %.1fx",
+				r.Workload, r.Improvement, minImprovement)
+		}
+		if r.Fast.LockFreeMallocs == 0 || r.Fast.LockFreeFrees == 0 {
+			return rs, fmt.Errorf("lockfree-smoke: %s fast arm never took the lock-free paths", r.Workload)
+		}
+		if r.Locked.LockFreeMallocs != 0 || r.Locked.LockFreeFrees != 0 {
+			return rs, fmt.Errorf("lockfree-smoke: %s locked arm took lock-free paths", r.Workload)
+		}
+	}
+	return rs, nil
+}

@@ -13,10 +13,21 @@
 // which the Hoard allocator (internal/core) restores after each free by
 // moving an at-least-f-empty superblock to the global heap.
 //
-// Locking: a Heap performs no locking itself. Every method must be called
-// with the heap's Lock held; internal/core owns the locking protocol
-// (including the re-check dance when superblock ownership changes while a
-// freeing thread waits).
+// Locking: a Heap performs no locking itself. Every method except the
+// explicitly lock-free hint/warm accessors must be called with the heap's
+// Lock held; internal/core owns the locking protocol (including the re-check
+// dance when superblock ownership changes while a freeing thread waits).
+//
+// Lock-free traffic: superblocks owned by a per-processor heap serve
+// warm-path mallocs and owner-local frees without this lock (DESIGN.md §11).
+// Those paths move the superblocks' live used counts but cannot touch the
+// heap's books, so each superblock carries an accounted count (Acct) that
+// the heap owns and reconciles lazily: u, the fullness groups, and the
+// emptiness invariant are all defined over the accounted counts, which makes
+// them exact under the lock at all times. The lock-free paths maintain uHint
+// — u plus the unreconciled drift — so the free fast path can watch the
+// invariant without the lock and escalate to a locked
+// confirm-reconcile-restore pass only when the hint trips.
 package heap
 
 import (
@@ -46,9 +57,33 @@ type Heap struct {
 	sbSize  int
 	fEmpty  float64
 	k       int
-	u, a    int64
+	u       int64
+	a       atomic.Int64 // bytes held in superblocks; atomic so hint checks read it lockless
 	classes []classGroups
 	nSuper  int
+
+	// uHint tracks u plus the drift the lock-free paths have applied to
+	// the superblocks' live counts but not yet to the books: locked paths
+	// update it through addU, fast paths through HintAdd. It is exact
+	// whenever no fast op is mid-flight and is re-anchored to u by
+	// SyncAll; between those points it is a racy hint the free fast path
+	// uses to watch the emptiness invariant without the lock.
+	uHint atomic.Int64
+
+	// warm caches, per size class, the Ref of the superblock the locked
+	// malloc path last allocated from — the lock-free warm path's first
+	// target. Stale entries are harmless: a sealed or reformatted
+	// superblock fails the fast path's checks and the next locked malloc
+	// republishes.
+	warm []atomic.Pointer[superblock.Ref]
+
+	// rings holds, per size class, a small ring of additional warm
+	// candidates fed by the free fast path: a lock-free free that turns a
+	// superblock's free list nonempty publishes the Ref here, so the
+	// malloc fast path sees superblocks made allocatable by frees without
+	// anyone taking the heap lock. Entries go stale the same harmless way
+	// warm does.
+	rings []warmRing
 
 	// pending is a racy hint of how many bytes sit on the remote stacks
 	// of superblocks this heap owns. Remote pushers add to it without the
@@ -56,6 +91,19 @@ type Heap struct {
 	// when nothing is plausibly pending) and discounts the emptiness
 	// invariant pre-check; correctness never depends on its value.
 	pending atomic.Int64
+}
+
+// WarmRingSize is the number of free-fed warm candidates kept per size
+// class, beyond the malloc-published warm Ref. Sized so a burst of frees
+// scattered over several superblocks leaves the malloc fast path enough
+// targets to ride through a whole refill's worth of pops without the lock.
+const WarmRingSize = 16
+
+// warmRing is a lossy ring of warm-path candidates. Publishes overwrite
+// round-robin; readers scan all slots. Purely advisory.
+type warmRing struct {
+	next  atomic.Uint32
+	slots [WarmRingSize]atomic.Pointer[superblock.Ref]
 }
 
 type classGroups struct {
@@ -102,34 +150,192 @@ func New(id, sbSize int, fEmpty float64, k, numClasses int, lock env.Lock) *Heap
 		fEmpty:  fEmpty,
 		k:       k,
 		classes: make([]classGroups, numClasses),
+		warm:    make([]atomic.Pointer[superblock.Ref], numClasses),
+		rings:   make([]warmRing, numClasses),
 	}
 }
 
-// groupOf computes the fullness group for a superblock.
-func groupOf(sb *superblock.Superblock) int {
-	if sb.Full() {
+// groupOfCount computes the fullness group for an accounted in-use count.
+func groupOfCount(used, nBlocks int) int {
+	if used >= nBlocks {
 		return fullGroup
 	}
-	g := sb.InUse() * NumGroups / sb.NBlocks()
+	g := used * NumGroups / nBlocks
 	if g >= NumGroups {
 		g = NumGroups - 1
 	}
 	return g
 }
 
-// U returns the bytes currently allocated from this heap's superblocks.
+// groupOf computes the fullness group for a superblock from its accounted
+// count — grouping, like u, is defined over the books, not the racy live
+// word.
+func groupOf(sb *superblock.Superblock) int {
+	return groupOfCount(sb.Acct, sb.NBlocks())
+}
+
+// addU applies a locked-path delta to the books: u and the hint move
+// together, so the hint's drift stays exactly the fast paths' unreconciled
+// contribution.
+func (h *Heap) addU(delta int64) {
+	h.u += delta
+	h.uHint.Add(delta)
+}
+
+// syncSuper reconciles one superblock's accounted count with its live word:
+// the difference (drift applied by lock-free ops) moves into u — but not
+// into uHint, which already received it via HintAdd — and the superblock is
+// regrouped. The caller holds the heap lock.
+func (h *Heap) syncSuper(sb *superblock.Superblock) {
+	n := sb.InUse()
+	if n == sb.Acct {
+		return
+	}
+	h.u += int64(n-sb.Acct) * int64(sb.BlockSize())
+	sb.Acct = n
+	h.regroup(sb)
+}
+
+// Sync reconciles one owned superblock's accounting with its live word —
+// the single-superblock form of SyncAll, used before Remove so that no
+// fast-path drift leaks into this heap's u when the superblock departs.
+// The caller holds the heap lock.
+func (h *Heap) Sync(sb *superblock.Superblock) {
+	h.syncSuper(sb)
+}
+
+// SyncAll reconciles every owned superblock's accounting with its live word
+// and re-anchors uHint to the exact u — the step that turns the hint's
+// suspicion into a fact the invariant check can act on. The caller holds the
+// heap lock.
+func (h *Heap) SyncAll(e env.Env) {
+	for c := range h.classes {
+		for g := 0; g <= fullGroup; g++ {
+			for sb := h.classes[c].groups[g].head; sb != nil; {
+				next := sb.Next
+				e.Charge(env.OpListScan, 1)
+				h.syncSuper(sb)
+				sb = next
+			}
+		}
+	}
+	// Fast ops that completed before the loop are folded into u; ops that
+	// raced it re-drift the hint after this store and trip it again.
+	h.uHint.Store(h.u)
+}
+
+// U returns the accounted bytes allocated from this heap's superblocks.
 func (h *Heap) U() int64 { return h.u }
 
+// LiveU sums the superblocks' live in-use bytes — the accounted u plus any
+// unreconciled fast-path drift. The caller holds the heap lock.
+func (h *Heap) LiveU() int64 {
+	var total int64
+	h.forEach(func(sb *superblock.Superblock) error {
+		total += int64(sb.BytesInUse())
+		return nil
+	})
+	return total
+}
+
 // A returns the bytes held by this heap in superblocks (S per superblock).
-func (h *Heap) A() int64 { return h.a }
+func (h *Heap) A() int64 { return h.a.Load() }
 
 // Superblocks returns the number of superblocks the heap holds.
 func (h *Heap) Superblocks() int { return h.nSuper }
 
+// Warm returns the cached warm-path Ref for a size class, or nil. Lock-free.
+func (h *Heap) Warm(class int) *superblock.Ref {
+	if class < 0 || class >= len(h.warm) {
+		return nil
+	}
+	return h.warm[class].Load()
+}
+
+// WarmAt returns the i-th free-fed warm candidate for a size class (i in
+// [0, WarmRingSize)), or nil. Lock-free; entries may be stale.
+func (h *Heap) WarmAt(class, i int) *superblock.Ref {
+	if class < 0 || class >= len(h.rings) {
+		return nil
+	}
+	return h.rings[class].slots[i].Load()
+}
+
+// PublishWarm records a free-fed warm candidate for a size class,
+// overwriting the oldest ring slot. Lock-free; called by the free fast path
+// after its CAS push lands, so the malloc fast path can find the superblock
+// the block just went back to. A run of frees to one superblock would
+// otherwise fill the whole ring with copies, so a publish that matches the
+// most recent slot is dropped (racy, and that's fine — a duplicate slot is
+// only a wasted scan, every entry is identity-checked at pop time).
+func (h *Heap) PublishWarm(class int, ref *superblock.Ref) {
+	if class < 0 || class >= len(h.rings) {
+		return
+	}
+	r := &h.rings[class]
+	n := r.next.Load()
+	if r.slots[(n+WarmRingSize-1)%WarmRingSize].Load() == ref {
+		return
+	}
+	if !r.next.CompareAndSwap(n, n+1) {
+		// Another publisher advanced the ring under us; drop this one
+		// rather than double-advance. The next free republishes.
+		return
+	}
+	r.slots[n%WarmRingSize].Store(ref)
+}
+
+// PromoteWarm makes ref the first warm-path target for its class — called
+// by the malloc fast path when a ring candidate served a pop, so subsequent
+// pops hit it first.
+func (h *Heap) PromoteWarm(class int, ref *superblock.Ref) {
+	if class < 0 || class >= len(h.warm) {
+		return
+	}
+	h.warm[class].Store(ref)
+}
+
+// ArmRing fills the class's warm ring with owned superblocks that still have
+// free capacity, scanning fullness groups emptiest-first. This is the ring's
+// slow-path feeder: a locked refill that runs anyway exposes up to
+// WarmRingSize superblocks' worth of blocks to the lock-free paths instead of
+// just the one it served from, complementing the free fast path's
+// empty-transition publishes. Emptiest-first is the opposite of AllocBlock's
+// order on purpose: the ring exists to maximize pops between two lock
+// acquisitions, and the emptiest superblocks hold the longest free lists (an
+// armed superblock is still evictable — eviction seals it, after which its
+// ring entries just stop serving). Slots past the last candidate keep their
+// old entries — the ring is a cache, and every entry is identity-checked at
+// pop time. Caller must hold the heap lock.
+func (h *Heap) ArmRing(e env.Env, class int) {
+	if class < 0 || class >= len(h.rings) {
+		return
+	}
+	r := &h.rings[class]
+	lists := &h.classes[class].groups
+	n := 0
+	for g := 0; g < NumGroups && n < WarmRingSize; g++ {
+		e.Charge(env.OpListScan, 1)
+		for sb := lists[g].head; sb != nil && n < WarmRingSize; sb = sb.Next {
+			if sb.Full() {
+				continue
+			}
+			r.slots[n].Store(sb.SelfRef())
+			n++
+		}
+	}
+}
+
+// HintAdd folds a lock-free fast-path delta into uHint. Lock-free; called
+// by internal/core after each warm-path malloc (+blockSize) and owner-local
+// fast free (-blockSize).
+func (h *Heap) HintAdd(delta int64) { h.uHint.Add(delta) }
+
 // InvariantViolated reports whether the emptiness invariant fails, i.e.
 // u < a - K*S AND u < (1-f)*a. The Hoard free path must restore the
 // invariant when this returns true. The global heap never evicts, so core
-// only consults this on per-processor heaps.
+// only consults this on per-processor heaps. Callers racing lock-free
+// traffic must SyncAll first — the invariant is defined over the accounted u.
 func (h *Heap) InvariantViolated() bool {
 	return h.invariantViolatedAt(h.u)
 }
@@ -140,19 +346,32 @@ func (h *Heap) InvariantViolated() bool {
 // (the hint can over- or under-count); callers must DrainAll and consult
 // InvariantViolated before actually evicting.
 func (h *Heap) InvariantViolatedDiscounted() bool {
+	return h.invariantViolatedAt(h.discount(h.u))
+}
+
+// HintSuspectsViolation is the lock-free form: it evaluates the invariant at
+// uHint (discounted by pending remote frees, which a drain would fold in).
+// A true result is only a suspicion — the caller must take the lock, SyncAll,
+// and consult InvariantViolated before evicting. Called without the lock
+// after every fast free.
+func (h *Heap) HintSuspectsViolation() bool {
+	return h.invariantViolatedAt(h.discount(h.uHint.Load()))
+}
+
+func (h *Heap) discount(u int64) int64 {
 	p := h.pending.Load()
-	if p < 0 {
-		p = 0
+	if p > 0 {
+		u -= p
 	}
-	u := h.u - p
 	if u < 0 {
 		u = 0
 	}
-	return h.invariantViolatedAt(u)
+	return u
 }
 
 func (h *Heap) invariantViolatedAt(u int64) bool {
-	return u < h.a-int64(h.k*h.sbSize) && float64(u) < (1-h.fEmpty)*float64(h.a)
+	a := h.a.Load()
+	return u < a-int64(h.k*h.sbSize) && float64(u) < (1-h.fEmpty)*float64(a)
 }
 
 // NoteRemotePush records bytes pushed onto a remote stack of a superblock
@@ -163,13 +382,21 @@ func (h *Heap) NoteRemotePush(bytes int64) { h.pending.Add(bytes) }
 func (h *Heap) PendingHintBytes() int64 { return h.pending.Load() }
 
 // Insert adds a superblock (and its current contents) to the heap, taking
-// ownership. The superblock must not be on any other heap.
+// ownership. The superblock must not be on any other heap, and must be
+// sealed (no lock-free traffic can land) so its live count is stable while
+// the books absorb it. Insertion unseals on the way out for every heap,
+// the global one included — frees land on global-heap superblocks by the
+// same lock-free CAS push as everywhere else, and a stale warm Ref may
+// even pop from one (rescuing a block without the global lock). Only
+// decommitted superblocks stay sealed; their pages are gone.
 func (h *Heap) Insert(sb *superblock.Superblock) {
+	sb.Seal()
 	sb.SetOwnerID(h.ID)
+	sb.Acct = sb.InUse()
 	sb.Group = groupOf(sb)
 	h.classes[sb.Class()].groups[sb.Group].pushFront(sb)
-	h.a += int64(h.sbSize)
-	h.u += int64(sb.BytesInUse())
+	h.a.Add(int64(h.sbSize))
+	h.addU(int64(sb.Acct) * int64(sb.BlockSize()))
 	h.nSuper++
 	// The incoming superblock may carry remote frees pushed while a
 	// previous heap owned it; fold them into this heap's hint so they are
@@ -177,10 +404,16 @@ func (h *Heap) Insert(sb *superblock.Superblock) {
 	if p := sb.RemotePendingBytes(); p > 0 {
 		h.pending.Add(p)
 	}
+	if !sb.Decommitted() {
+		sb.Unseal()
+	}
 }
 
 // Remove detaches a superblock from the heap, releasing ownership of its
-// statistics. The caller becomes responsible for the superblock.
+// statistics. The caller becomes responsible for the superblock, must have
+// sealed it, and must have reconciled it (syncSuper via SyncAll) if it ever
+// took lock-free traffic — Remove subtracts the accounted count, so
+// unreconciled drift would otherwise leak into u.
 //
 // The departing superblock takes its remote-pending blocks with it (Insert
 // folds them into the receiving heap's hint), so they are subtracted from
@@ -190,8 +423,8 @@ func (h *Heap) Insert(sb *superblock.Superblock) {
 // until the next DrainAll resets the hint.
 func (h *Heap) Remove(sb *superblock.Superblock) {
 	h.classes[sb.Class()].groups[sb.Group].remove(sb)
-	h.a -= int64(h.sbSize)
-	h.u -= int64(sb.BytesInUse())
+	h.a.Add(-int64(h.sbSize))
+	h.addU(-int64(sb.Acct) * int64(sb.BlockSize()))
 	h.nSuper--
 	h.dropPendingHint(sb.RemotePendingBytes())
 }
@@ -228,25 +461,36 @@ func (h *Heap) regroup(sb *superblock.Superblock) {
 
 // AllocBlock allocates one block of the given class from the heap's
 // superblocks, searching fullness groups from mostly-full down to
-// mostly-empty as the paper prescribes. ok is false if no owned superblock
-// of the class has a free block.
+// mostly-empty as the paper prescribes, and publishes the superblock it
+// served from as the class's warm fast-path target. ok is false if no owned
+// superblock of the class has a free block.
 func (h *Heap) AllocBlock(e env.Env, class int) (alloc.Ptr, bool) {
 	lists := &h.classes[class].groups
 	for g := NumGroups - 1; g >= 0; g-- {
 		e.Charge(env.OpListScan, 1)
-		sb := lists[g].head
-		if sb == nil {
-			continue
+		// A superblock grouped as non-full by its accounted count can be
+		// live-full (lock-free pops outran the books). Reconcile it —
+		// which moves it to the full group — and rescan the list head.
+		// The bound keeps a pathological fast-free race from spinning
+		// under the lock; falling through just makes core fetch a fresh
+		// superblock, which is always safe.
+		for tries := 0; tries < 64; tries++ {
+			sb := lists[g].head
+			if sb == nil {
+				break
+			}
+			if p, ok := sb.AllocBlock(e); ok {
+				// Locked delta goes to the hint; syncSuper then pulls
+				// Acct up to the live word, folding both this alloc and
+				// any fast-path drift into u (the drift is already in
+				// the hint, so uHint gets only our +1).
+				h.uHint.Add(int64(sb.BlockSize()))
+				h.syncSuper(sb)
+				h.warm[class].Store(sb.SelfRef())
+				return p, true
+			}
+			h.syncSuper(sb)
 		}
-		p, ok := sb.AllocBlock(e)
-		if !ok {
-			// A superblock in a non-full group always has a free
-			// block; reaching here means grouping is corrupt.
-			panic(fmt.Sprintf("heap %d: full superblock in group %d", h.ID, g))
-		}
-		h.u += int64(sb.BlockSize())
-		h.regroup(sb)
-		return p, true
 	}
 	return 0, false
 }
@@ -261,8 +505,11 @@ func (h *Heap) FreeBlock(e env.Env, sb *superblock.Superblock, p alloc.Ptr) int 
 	}
 	drained := sb.DrainRemote(e)
 	sb.FreeBlock(e, p)
-	h.u -= int64(drained+1) * int64(sb.BlockSize())
-	h.regroup(sb)
+	// Locked deltas (this free plus the drained remotes) go to the hint;
+	// syncSuper reconciles Acct against the live word, so fast-path drift
+	// can never push the accounted count negative.
+	h.uHint.Add(-int64(drained+1) * int64(sb.BlockSize()))
+	h.syncSuper(sb)
 	return drained
 }
 
@@ -278,8 +525,8 @@ func (h *Heap) FreeBlocks(e env.Env, sb *superblock.Superblock, ps []alloc.Ptr) 
 	for _, p := range ps {
 		sb.FreeBlock(e, p)
 	}
-	h.u -= int64(drained+len(ps)) * int64(sb.BlockSize())
-	h.regroup(sb)
+	h.uHint.Add(-int64(drained+len(ps)) * int64(sb.BlockSize()))
+	h.syncSuper(sb)
 	return drained
 }
 
@@ -288,9 +535,9 @@ func (h *Heap) FreeBlocks(e env.Env, sb *superblock.Superblock, ps []alloc.Ptr) 
 func (h *Heap) DrainSuper(e env.Env, sb *superblock.Superblock) int {
 	n := sb.DrainRemote(e)
 	if n > 0 {
-		h.u -= int64(n) * int64(sb.BlockSize())
-		h.regroup(sb)
+		h.uHint.Add(-int64(n) * int64(sb.BlockSize()))
 	}
+	h.syncSuper(sb)
 	return n
 }
 
@@ -378,7 +625,12 @@ func (h *Heap) FindEvictable(e env.Env) *superblock.Superblock {
 // first a superblock of that class with free space (emptiest first), then a
 // completely empty superblock of any class reinitialized to the class. It
 // returns nil if the heap has neither. This is the global heap's side of
-// Hoard's malloc slow path.
+// Hoard's malloc slow path. Global-heap superblocks take lock-free frees
+// (and stale warm-Ref pops), so each pick is reconciled before Remove to
+// keep the departing accounting exact; the reinitialized-class path
+// additionally seals and re-checks emptiness, since Reinit must not race a
+// pop. Superblocks leave unsealed except on the Reinit path; the receiving
+// heap's Insert re-snapshots and unseals either way.
 //
 // Emptiest-first matters: superblocks evicted to the global heap may still
 // hold live blocks belonging to other threads; handing those out first
@@ -399,14 +651,29 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 	for sb := lists[0].head; sb != nil; sb = sb.Next {
 		e.Charge(env.OpListScan, 1)
 		if sb.Empty() {
+			h.syncSuper(sb)
 			h.Remove(sb)
 			sb.Recommit(e)
 			return sb
 		}
 	}
 	for g := 0; g < NumGroups; g++ {
-		e.Charge(env.OpListScan, 1)
-		if sb := lists[g].head; sb != nil {
+		for {
+			sb := lists[g].head
+			if sb == nil {
+				break
+			}
+			e.Charge(env.OpListScan, 1)
+			// Reconcile before handing out: stale warm Refs pop from
+			// global-heap superblocks, so the group a superblock sits in
+			// can lag its live fullness — and a live-full superblock is
+			// useless to the taker. syncSuper regroups; if the
+			// superblock left this list (filled up, or emptied into a
+			// group already scanned), re-read the head and try again.
+			h.syncSuper(sb)
+			if sb.Group != g {
+				continue
+			}
 			h.Remove(sb)
 			sb.Recommit(e)
 			return sb
@@ -419,6 +686,17 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
 			e.Charge(env.OpListScan, 1)
 			if sb.Empty() {
+				// Reinit reformats the word and the links, so fence the
+				// lock-free paths first and confirm emptiness held: a
+				// stale warm Ref may have popped a block between the
+				// check and the seal. (Emptiness cannot be broken by a
+				// free — an empty superblock has no blocks out.)
+				sb.Seal()
+				if !sb.Empty() {
+					sb.Unseal()
+					continue
+				}
+				h.syncSuper(sb)
 				h.Remove(sb)
 				// Scavenged superblocks are recommitted transparently
 				// on reuse — and necessarily before Reinit, whose
@@ -427,6 +705,47 @@ func (h *Heap) TakeSuper(e env.Env, class, blockSize int) *superblock.Superblock
 				sb.Reinit(class, blockSize)
 				return sb
 			}
+		}
+	}
+	return nil
+}
+
+// ReuseEmpty reformats one of this heap's own completely empty superblocks
+// of a different class to serve the given class, leaving it owned by this
+// heap (re-inserted and unsealed), or returns nil if no empty superblock
+// exists. This is the malloc slow path's step between "my heap has no free
+// block of this class" and "take a superblock from the global heap": the
+// paper lets empty superblocks be recycled for any size class, and doing it
+// locally keeps a(i) unchanged — where a global-heap take grows a(i) by S and
+// routinely pushes the heap over the emptiness invariant, evicting some other
+// class's emptiest superblock and setting up the next take. Cutting that
+// cycle is what keeps the slow path off the global lock in steady state.
+// Same fence discipline as TakeSuper's cross-class recycle path; the caller
+// holds the heap lock.
+func (h *Heap) ReuseEmpty(e env.Env, class, blockSize int) *superblock.Superblock {
+	for c := range h.classes {
+		if c == class {
+			// An empty same-class superblock already serves AllocBlock;
+			// reformatting it would buy nothing.
+			continue
+		}
+		e.Charge(env.OpListScan, 1)
+		for sb := h.classes[c].groups[0].head; sb != nil; sb = sb.Next {
+			e.Charge(env.OpListScan, 1)
+			if !sb.Empty() {
+				continue
+			}
+			sb.Seal()
+			if !sb.Empty() {
+				sb.Unseal()
+				continue
+			}
+			h.syncSuper(sb)
+			h.Remove(sb)
+			sb.Recommit(e)
+			sb.Reinit(class, blockSize)
+			h.Insert(sb)
+			return sb
 		}
 	}
 	return nil
@@ -486,6 +805,15 @@ func (h *Heap) ScavengeEmpties(e env.Env, maxBytes int64, coldBefore int64) (int
 		if released >= maxBytes {
 			break
 		}
+		// Fence the lock-free paths, then confirm emptiness held: a stale
+		// warm Ref may have popped a block since the scan above (a free
+		// cannot repopulate an empty superblock — it has no blocks out).
+		sb.Seal()
+		if !sb.Empty() {
+			sb.Unseal()
+			continue
+		}
+		h.syncSuper(sb)
 		sb.Decommit(e)
 		released += int64(h.sbSize)
 		n++
@@ -543,7 +871,7 @@ type Occupancy struct {
 func (h *Heap) SampleOccupancy(detail bool) Occupancy {
 	occ := Occupancy{
 		U:            h.u,
-		A:            h.a,
+		A:            h.a.Load(),
 		Superblocks:  h.nSuper,
 		PendingBytes: h.pending.Load(),
 	}
@@ -588,16 +916,19 @@ func (h *Heap) forEach(fn func(sb *superblock.Superblock) error) error {
 }
 
 // CheckIntegrity validates list structure, grouping, ownership, and the u/a
-// accounting against the superblocks' own counters. The heap must be
-// quiescent.
+// accounting against the superblocks' accounted counters. The heap must be
+// quiescent. The accounted counts may lag the live words (fast-path drift
+// that SyncAll would fold in) — the books just have to be internally
+// consistent; each superblock's own check validates its live state.
 func (h *Heap) CheckIntegrity() error {
 	return h.checkIntegrity(false)
 }
 
 // CheckIntegrityOnline is CheckIntegrity for a heap whose lock the caller
-// holds while other threads keep allocating elsewhere. All heap state is
-// consistent under the lock; the only concession to concurrency is using the
-// superblocks' online check, which tolerates in-flight remote-free pushes.
+// holds while other threads keep allocating elsewhere. All heap bookkeeping
+// is consistent under the lock; the only concession to concurrency is using
+// the superblocks' online check, which tolerates in-flight lock-free
+// traffic.
 func (h *Heap) CheckIntegrityOnline() error {
 	return h.checkIntegrity(true)
 }
@@ -609,9 +940,12 @@ func (h *Heap) checkIntegrity(online bool) error {
 		if sb.OwnerID() != h.ID {
 			return fmt.Errorf("heap %d: holds superblock owned by %d", h.ID, sb.OwnerID())
 		}
+		if sb.Acct < 0 || sb.Acct > sb.NBlocks() {
+			return fmt.Errorf("heap %d: superblock %#x accounted count %d out of range", h.ID, sb.Base(), sb.Acct)
+		}
 		if want := groupOf(sb); sb.Group != want {
-			return fmt.Errorf("heap %d: superblock %#x in group %d, want %d (fullness %v)",
-				h.ID, sb.Base(), sb.Group, want, sb.Fullness())
+			return fmt.Errorf("heap %d: superblock %#x in group %d, want %d (accounted %d/%d)",
+				h.ID, sb.Base(), sb.Group, want, sb.Acct, sb.NBlocks())
 		}
 		var serr error
 		if online {
@@ -622,7 +956,7 @@ func (h *Heap) checkIntegrity(online bool) error {
 		if serr != nil {
 			return fmt.Errorf("heap %d: %w", h.ID, serr)
 		}
-		u += int64(sb.BytesInUse())
+		u += int64(sb.Acct) * int64(sb.BlockSize())
 		a += int64(h.sbSize)
 		n++
 		return nil
@@ -630,9 +964,9 @@ func (h *Heap) checkIntegrity(online bool) error {
 	if err != nil {
 		return err
 	}
-	if u != h.u || a != h.a || n != h.nSuper {
+	if u != h.u || a != h.a.Load() || n != h.nSuper {
 		return fmt.Errorf("heap %d: accounting u=%d a=%d n=%d, superblocks say u=%d a=%d n=%d",
-			h.ID, h.u, h.a, h.nSuper, u, a, n)
+			h.ID, h.u, h.a.Load(), h.nSuper, u, a, n)
 	}
 	return nil
 }

@@ -1,0 +1,141 @@
+package heap
+
+import (
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/vm"
+)
+
+// TestWarmRingPublishDedup pins PublishWarm's consecutive-duplicate drop: a
+// run of frees to one superblock must occupy one ring slot, not flood the
+// ring with copies that evict every other candidate.
+func TestWarmRingPublishDedup(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	a := newSuper(space, 2)
+	b := newSuper(space, 2)
+	h.Insert(a)
+	h.Insert(b)
+	for i := 0; i < WarmRingSize; i++ {
+		h.PublishWarm(2, a.SelfRef())
+	}
+	var hits int
+	for i := 0; i < WarmRingSize; i++ {
+		if h.WarmAt(2, i) == a.SelfRef() {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("%d ring slots hold the repeated ref, want 1", hits)
+	}
+	// Alternating publishes are all distinct from their predecessor and
+	// must land in distinct slots until the ring wraps.
+	for i := 0; i < WarmRingSize; i++ {
+		if i%2 == 0 {
+			h.PublishWarm(2, b.SelfRef())
+		} else {
+			h.PublishWarm(2, a.SelfRef())
+		}
+	}
+	var as, bs int
+	for i := 0; i < WarmRingSize; i++ {
+		switch h.WarmAt(2, i) {
+		case a.SelfRef():
+			as++
+		case b.SelfRef():
+			bs++
+		}
+	}
+	if as < WarmRingSize/2-1 || bs < WarmRingSize/2-1 {
+		t.Fatalf("alternating publishes filled %d+%d slots, want about %d each", as, bs, WarmRingSize/2)
+	}
+	// Out-of-range classes are ignored, not a panic.
+	h.PublishWarm(-1, a.SelfRef())
+	h.PublishWarm(testClasses+5, a.SelfRef())
+	if h.WarmAt(-1, 0) != nil || h.WarmAt(testClasses+5, 0) != nil {
+		t.Fatal("out-of-range class leaked a ring entry")
+	}
+}
+
+// TestArmRingPrefersEmptiest pins the slow-path feeder's order: ArmRing must
+// put the emptiest superblocks (longest free lists) in the low slots and skip
+// live-full ones entirely.
+func TestArmRingPrefersEmptiest(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	full := newSuper(space, 2)
+	for {
+		if _, ok := full.AllocBlock(e); !ok {
+			break
+		}
+	}
+	nearFull := newSuper(space, 2)
+	for i := 0; i < nearFull.NBlocks()-2; i++ {
+		nearFull.AllocBlock(e)
+	}
+	empty := newSuper(space, 2)
+	h.Insert(full)
+	h.Insert(nearFull)
+	h.Insert(empty)
+	h.ArmRing(e, 2)
+	if got := h.WarmAt(2, 0); got != empty.SelfRef() {
+		t.Fatalf("slot 0 = %v, want the empty superblock's ref", got)
+	}
+	if got := h.WarmAt(2, 1); got != nearFull.SelfRef() {
+		t.Fatalf("slot 1 = %v, want the nearly-full superblock's ref", got)
+	}
+	for i := 2; i < WarmRingSize; i++ {
+		if h.WarmAt(2, i) == full.SelfRef() {
+			t.Fatal("a live-full superblock was armed")
+		}
+	}
+}
+
+// TestReuseEmpty pins the local recycle step: an empty superblock of another
+// class is reformatted to the requested class and stays on this heap with
+// a(i) unchanged, while partial superblocks and same-class superblocks are
+// never touched.
+func TestReuseEmpty(t *testing.T) {
+	space := vm.New()
+	h := newHeap(1)
+	partial := newSuper(space, 3)
+	partial.AllocBlock(e)
+	empty := newSuper(space, 3)
+	h.Insert(partial)
+	h.Insert(empty)
+	aBefore := h.A()
+
+	sb := h.ReuseEmpty(e, 2, blockSizeFor(2))
+	if sb != empty {
+		t.Fatalf("reused %v, want the empty superblock", sb)
+	}
+	if sb.Class() != 2 || sb.BlockSize() != blockSizeFor(2) {
+		t.Fatalf("reinit to class %d size %d", sb.Class(), sb.BlockSize())
+	}
+	if sb.OwnerID() != 1 || h.A() != aBefore || h.Superblocks() != 2 {
+		t.Fatalf("ownership/accounting moved: owner=%d a=%d n=%d", sb.OwnerID(), h.A(), h.Superblocks())
+	}
+	if sb.Sealed() {
+		t.Fatal("reused superblock left sealed")
+	}
+	if _, ok := h.AllocBlock(e, 2); !ok {
+		t.Fatal("reused superblock cannot serve its new class")
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing else is empty: the partial class-3 superblock must not be
+	// stolen, and same-class empties are excluded by design.
+	if got := h.ReuseEmpty(e, 2, blockSizeFor(2)); got != nil {
+		t.Fatalf("second reuse returned %v, want nil", got)
+	}
+	var p alloc.Ptr
+	if q, ok := h.AllocBlock(e, 3); !ok {
+		t.Fatal("partial class-3 superblock lost its blocks")
+	} else {
+		p = q
+	}
+	h.FreeBlock(e, partial, p)
+}

@@ -120,8 +120,21 @@ func NewSimMaker(allocName string, procs int, cost simproc.CostModel, mk allocat
 // and wall-clock time. procs only sizes the allocator (e.g. Hoard's heap
 // count); actual parallelism is up to GOMAXPROCS.
 func NewReal(allocName string, procs int) *Harness {
+	return NewRealMaker(allocName, procs, nil)
+}
+
+// NewRealMaker is NewReal with a custom allocator constructor (nil selects
+// the registry's). The maker receives the real lock factory; the
+// lock-attribution experiments wrap it in a counting one instead.
+func NewRealMaker(allocName string, procs int, mk allocators.Maker) *Harness {
+	var a alloc.Allocator
+	if mk != nil {
+		a = mk(procs, env.RealLockFactory{})
+	} else {
+		a = allocators.MustMake(allocName, procs, env.RealLockFactory{})
+	}
 	return &Harness{
-		alloc:     allocators.MustMake(allocName, procs, env.RealLockFactory{}),
+		alloc:     a,
 		allocName: allocName,
 		procs:     procs,
 	}

@@ -83,6 +83,9 @@ func (a *Allocator) sampleMetrics() metrics.Snapshot {
 	s.Counters["batch_refills_total"] = st.BatchRefills
 	s.Counters["batch_flushes_total"] = st.BatchFlushes
 	s.Counters["batched_blocks_total"] = st.BatchedBlocks
+	s.Counters["lockfree_mallocs_total"] = st.LockFreeMallocs
+	s.Counters["lockfree_frees_total"] = st.LockFreeFrees
+	s.Counters["lockfree_cas_retries_total"] = st.FastPathRetries
 	if h := a.unwrap(); h != nil {
 		for _, occ := range h.SampleHeaps(&env.RealEnv{ID: -1}, true) {
 			hs := metrics.HeapSample{
