@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench metrics-smoke footprint-smoke lockfree-smoke
+.PHONY: check build test race vet bench metrics-smoke footprint-smoke lockfree-smoke arena-smoke
 
 # check is the tier-1 gate: vet, build, and the full suite under the race
 # detector.
@@ -56,3 +56,17 @@ lockfree-smoke:
 	$(GO) test -run 'TestLockFree|TestMeasureLockFree' ./internal/experiments/
 	$(GO) test -race -run 'TestLockFree|TestUnifiedFastFree|TestGlobalHeapFastFree|TestFastPaths|TestPropertyFullness|TestWarmRing|TestReuseEmpty|TestArmRing' \
 		./internal/core/ ./internal/superblock/ ./internal/heap/
+
+# arena-smoke exercises the real-memory arena backend end to end (Linux
+# amd64/arm64): the A12 run regenerates its artifact and enforces the smoke
+# thresholds (address-arithmetic resolution at least 2x faster than the page
+# table, forced release ending below 0.8x of its RSS peak — real
+# /proc/self/statm numbers, not simulated accounting); then the full
+# allocator protocol suite runs on the arena under the race detector via the
+# HOARDGO_BACKEND override, plus the backend fallback and arena-specific
+# tests.
+arena-smoke:
+	$(GO) run ./cmd/hoardbench -arena /tmp/hoardgo-arena.json
+	HOARDGO_BACKEND=arena $(GO) test -race ./internal/vm/ ./internal/superblock/ ./internal/heap/ ./internal/core/
+	$(GO) test -race -run 'TestArena|TestBackend|TestPublicBackend|TestPublicClose|TestMeasureResolve|TestMeasureArena' \
+		. ./internal/vm/ ./internal/core/ ./internal/experiments/

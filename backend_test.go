@@ -1,0 +1,75 @@
+package hoard
+
+import (
+	"testing"
+)
+
+// TestPublicBackendSelection pins the public Config.Backend passthrough:
+// "arena" reaches the core allocator (or degrades with a recorded reason),
+// "sim" and the zero value stay simulated, and garbage is rejected.
+func TestPublicBackendSelection(t *testing.T) {
+	if _, err := New(Config{Backend: "warp-drive"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+
+	a := MustNew(Config{Backend: "sim"})
+	if got := a.Backend(); got != "sim" {
+		t.Fatalf("Backend() = %q, want sim", got)
+	}
+	if a.BackendFallbackReason() != "" {
+		t.Fatalf("sim recorded a fallback: %q", a.BackendFallbackReason())
+	}
+
+	b := MustNew(Config{Backend: "arena"})
+	defer b.Close()
+	switch b.Backend() {
+	case "arena":
+		if b.Stats().BackendFallbacks != 0 {
+			t.Fatal("arena in use but a fallback was recorded")
+		}
+	case "sim":
+		// Platform without mmap arenas: the degradation must be recorded.
+		if b.BackendFallbackReason() == "" || b.Stats().BackendFallbacks != 1 {
+			t.Fatal("arena fallback left no trace")
+		}
+	default:
+		t.Fatalf("Backend() = %q", b.Backend())
+	}
+
+	// The allocator works either way.
+	th := b.NewThread()
+	p := th.Malloc(100)
+	th.Bytes(p, 100)[99] = 0x5A
+	th.Free(p)
+	if err := b.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicBackendNonHoard: other policies ignore Backend and always run on
+// the simulated space.
+func TestPublicBackendNonHoard(t *testing.T) {
+	a := MustNew(Config{Policy: PolicySerial, Backend: "arena"})
+	if got := a.Backend(); got != "sim" {
+		t.Fatalf("serial policy backend = %q, want sim", got)
+	}
+	if a.BackendFallbackReason() != "" {
+		t.Fatal("non-Hoard policy recorded a backend fallback")
+	}
+}
+
+// TestPublicClose: Close releases the substrate and is safe with no
+// background workers running; a closed arena allocator must not be reused,
+// but Close itself is idempotent.
+func TestPublicClose(t *testing.T) {
+	a := MustNew(Config{Backend: "arena"})
+	th := a.NewThread()
+	p := th.Malloc(4096)
+	th.Free(p)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

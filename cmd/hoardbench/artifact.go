@@ -286,3 +286,107 @@ func writeMetricsTimeline(path string, scale experiments.Scale) error {
 		path, len(tl.Samples), tl.AuditPasses, len(tl.Prometheus))
 	return nil
 }
+
+// arenaArtifact is the committed real-memory-backend record (BENCH_PR7.json):
+// the pointer→superblock resolution comparison behind the arena PR's
+// acceptance criterion, the wall-clock malloc/free sweep on both backends,
+// and the RSS trajectory of the churn workload under each release policy —
+// with /proc/self/statm as ground truth that madvise returns pages.
+// Reproducible with `hoardbench -arena <path>` on Linux amd64/arm64. Every
+// row records its backend; wall-clock numbers are machine-dependent, the
+// within-run ratios are what the thresholds read.
+type arenaArtifact struct {
+	Schema     string                             `json:"schema"`
+	Scale      string                             `json:"scale"`
+	Provenance provenance                         `json:"provenance"`
+	Resolve    experiments.ResolveResult          `json:"resolve"`
+	Throughput []experiments.ArenaThroughputEntry `json:"throughput"`
+	RSS        []experiments.ArenaRSSEntry        `json:"rss"`
+	// RSSRatios holds the headline fractions: "forced/peak" (forced-mode
+	// final RSS over its own peak) and "scavenge/off" (paced-mode final
+	// over the retain-everything final).
+	RSSRatios map[string]float64 `json:"rss_ratios"`
+}
+
+// writeArena runs the A12 measurements and writes the JSON record. The
+// smoke thresholds are enforced at quick scale (what make arena-smoke and
+// CI run): arithmetic resolution at least 2x faster than the page table,
+// forced release ending below 0.8x of its RSS peak, and the paced scavenger
+// ending below the retain-everything arm.
+func writeArena(path string, opts experiments.Options, scale string, progress func(string, int)) error {
+	const (
+		minResolveSpeedup = 2.0
+		maxForcedOverPeak = 0.8
+	)
+	schema := "hoardgo-bench/pr7-arena/v1"
+	if progress != nil {
+		progress("arena-resolve", 1)
+	}
+	resolve, err := experiments.MeasureResolve(opts.Scale)
+	if err != nil {
+		return err
+	}
+	if progress != nil {
+		progress("arena-throughput", 1)
+	}
+	tps, err := experiments.MeasureArenaThroughput(opts.Scale)
+	if err != nil {
+		return err
+	}
+	if progress != nil {
+		progress("arena-rss", 4)
+	}
+	rss, err := experiments.MeasureArenaRSS(opts.Scale)
+	if err != nil {
+		return err
+	}
+	art := arenaArtifact{
+		Schema:     schema,
+		Scale:      scale,
+		Provenance: stamp(schema, scale, opts),
+		Resolve:    resolve,
+		Throughput: tps,
+		RSS:        rss,
+		RSSRatios:  map[string]float64{},
+	}
+	byMode := map[string]experiments.ArenaRSSEntry{}
+	for _, e := range art.RSS {
+		byMode[e.Mode] = e
+	}
+	if f := byMode["forced"]; f.PeakDelta > 0 {
+		art.RSSRatios["forced/peak"] = float64(f.FinalDelta) / float64(f.PeakDelta)
+	}
+	if off := byMode["off"]; off.FinalDelta > 0 {
+		art.RSSRatios["scavenge/off"] = float64(byMode["scavenge"].FinalDelta) / float64(off.FinalDelta)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n", path)
+	for _, e := range art.Resolve.Entries {
+		fmt.Printf("  resolve %-6s %.2f ns/lookup over %d spans\n", e.Backend, e.NSPerLookup, e.Spans)
+	}
+	fmt.Printf("  resolve speedup %.2fx (threshold %.1fx)\n", art.Resolve.Speedup, minResolveSpeedup)
+	for _, e := range art.Throughput {
+		fmt.Printf("  throughput %-6s P=%-2d %10.0f ops/ms\n", e.Backend, e.Procs, e.OpsPerMS)
+	}
+	for _, e := range art.RSS {
+		fmt.Printf("  rss %-8s peak %10d B  final %10d B  (%d scavenges, %d B decommitted)\n",
+			e.Mode, e.PeakDelta, e.FinalDelta, e.ScavengePasses, e.DecommittedBytes)
+	}
+	if art.Resolve.Speedup < minResolveSpeedup {
+		return fmt.Errorf("arena: resolution speedup %.2fx, want >= %.1fx", art.Resolve.Speedup, minResolveSpeedup)
+	}
+	if r, ok := art.RSSRatios["forced/peak"]; !ok || r >= maxForcedOverPeak {
+		return fmt.Errorf("arena: forced-release final RSS is %.2fx of peak, want < %.2f", r, maxForcedOverPeak)
+	}
+	if r, ok := art.RSSRatios["scavenge/off"]; !ok || r >= 1 {
+		return fmt.Errorf("arena: paced scavenger final RSS is %.2fx of the retain arm, want < 1", r)
+	}
+	return nil
+}

@@ -44,6 +44,7 @@ func run() error {
 		metricsTo = flag.String("metrics", "", "run the instrumented churn scenario and write the metrics timeline (occupancy samples, lock counters, audit record, Prometheus scrape) to this JSON file and exit")
 		footTo    = flag.String("footprint", "", "run the scavenger footprint grid (workloads x release modes) and write the artifact (steady-state ratios + batch-lock guard) to this JSON file and exit")
 		lockfree  = flag.String("lockfree", "", "run the zero-lock steady-state comparison (heap-lock acquisitions per op, fast vs locked arm, plus the simulator throughput sweep) and write the artifact to this JSON file and exit; at quick scale the smoke thresholds are enforced")
+		arenaTo   = flag.String("arena", "", "run the real-memory arena comparison (pointer resolution cost, wall-clock malloc/free sweep, RSS under release policies) and write the artifact to this JSON file and exit; requires the arena backend (Linux amd64/arm64); the smoke thresholds are enforced")
 	)
 	flag.Parse()
 
@@ -91,6 +92,9 @@ func run() error {
 	if *lockfree != "" {
 		return writeLockFree(*lockfree, opts, *scaleFlag, progress)
 	}
+	if *arenaTo != "" {
+		return writeArena(*arenaTo, opts, *scaleFlag, progress)
+	}
 	ids := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		ids = allIDs()
@@ -113,7 +117,7 @@ func allIDs() []string {
 		ids = append(ids, f.ID)
 	}
 	return append(ids,
-		"frag", "uniproc", "blowup", "blowup-shift", "footprint", "lockfree",
+		"frag", "uniproc", "blowup", "blowup-shift", "footprint", "lockfree", "arena",
 		"ablate-f", "ablate-s", "ablate-k", "ablate-heaps",
 		"ablate-release", "ablate-batch", "tcache", "coherence", "contention", "cost-sensitivity")
 }
@@ -132,6 +136,7 @@ func runOne(id string, opts experiments.Options, of experiments.OutputFormat, pr
 		"blowup-shift":     experiments.BlowupShift,
 		"footprint":        experiments.Footprint,
 		"lockfree":         experiments.LockFree,
+		"arena":            experiments.Arena,
 		"ablate-f":         experiments.AblateF,
 		"ablate-s":         experiments.AblateS,
 		"ablate-k":         experiments.AblateK,

@@ -97,6 +97,17 @@ type Config struct {
 	// b=1.2, 2*Procs heaps).
 	Hoard core.Config
 
+	// Backend selects the Hoard policy's memory substrate: "sim" (the
+	// default — a deterministic simulated address space) or "arena" (one
+	// large mmap reservation with address-arithmetic span resolution and
+	// real madvise decommit; Linux amd64/arm64 only). Empty consults the
+	// HOARDGO_BACKEND environment variable, then defaults to sim. When the
+	// arena cannot be created the allocator degrades to sim instead of
+	// failing; Stats.BackendFallbacks and Allocator.BackendFallbackReason
+	// record that. Shorthand for Hoard.Backend; ignored by other policies,
+	// which always use the simulated space.
+	Backend string
+
 	// OwnershipArenas and OwnershipSteal tune the ownership policy.
 	OwnershipArenas int
 	OwnershipSteal  bool
@@ -169,12 +180,20 @@ func New(cfg Config) (*Allocator, error) {
 		reg = metrics.NewRegistry()
 		lf = reg.WrapFactory(lf)
 	}
+	switch cfg.Backend {
+	case "", "sim", "arena":
+	default:
+		return nil, fmt.Errorf("hoard: unknown backend %q (want \"sim\" or \"arena\")", cfg.Backend)
+	}
 	var impl alloc.Allocator
 	switch cfg.Policy {
 	case PolicyHoard, "":
 		hc := cfg.Hoard
 		if hc.Heaps == 0 {
 			hc.Heaps = 2 * procs
+		}
+		if hc.Backend == "" {
+			hc.Backend = cfg.Backend
 		}
 		impl = core.New(hc, lf)
 	case PolicySerial:
@@ -380,6 +399,10 @@ type Stats struct {
 	// FastPathRetries counts CAS retries on those warm paths — the
 	// contention the lock-free protocol absorbed instead of blocking.
 	FastPathRetries int64
+	// BackendFallbacks is 1 when a requested arena backend could not be
+	// created and the allocator degraded to the simulated space; see
+	// BackendFallbackReason for the cause.
+	BackendFallbacks int64
 }
 
 // Stats returns a snapshot of the allocator's counters.
@@ -408,7 +431,34 @@ func (a *Allocator) Stats() Stats {
 		LockFreeMallocs:    st.LockFreeMallocs,
 		LockFreeFrees:      st.LockFreeFrees,
 		FastPathRetries:    st.FastPathRetries,
+		BackendFallbacks:   st.BackendFallbacks,
 	}
+}
+
+// Backend returns the name of the memory substrate in use: "sim" or
+// "arena". Non-Hoard policies always report "sim".
+func (a *Allocator) Backend() string { return a.impl.Space().Name() }
+
+// BackendFallbackReason reports why a requested arena backend degraded to
+// the simulated space, or "" when no fallback happened. Only the Hoard
+// policy can fall back.
+func (a *Allocator) BackendFallbackReason() string {
+	if h := a.unwrap(); h != nil {
+		return h.BackendFallbackReason()
+	}
+	return ""
+}
+
+// Close stops the background scavenger and auditor (if running) and
+// releases the memory substrate: for the arena backend this unmaps its
+// virtual reservation, for the simulated backend it is a no-op. The
+// allocator must be quiescent and must not be used afterwards. Close is the
+// only way an arena's address space is returned to the OS — Go finalizers
+// cannot reclaim it.
+func (a *Allocator) Close() error {
+	a.StopScavenger()
+	a.StopAuditor()
+	return a.impl.Space().Close()
 }
 
 // CheckIntegrity exhaustively validates the allocator's internal

@@ -78,7 +78,7 @@ type Allocator interface {
 
 	// Space exposes the simulated OS address space backing this
 	// allocator, for committed-memory measurements.
-	Space() *vm.Space
+	Space() vm.Backend
 
 	// CheckIntegrity exhaustively validates internal invariants (free
 	// list integrity, usage accounting, the emptiness invariant for
@@ -201,6 +201,10 @@ type Stats struct {
 	// FastPathRetries counts CAS retries across all lock-free warm-path
 	// operations — the contention the fast paths absorb without blocking.
 	FastPathRetries int64
+	// BackendFallbacks counts vm-backend selections that degraded to the
+	// simulated space because the requested arena backend was unavailable
+	// (0 or 1 per allocator; the reason is on the allocator itself).
+	BackendFallbacks int64
 	// LocalReuses counts malloc slow paths served by reformatting one of
 	// the heap's own empty superblocks to the needed class instead of
 	// taking one from the global heap (Hoard only). Each such reuse keeps

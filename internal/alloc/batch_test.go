@@ -25,7 +25,7 @@ func (f *fakeAlloc) Free(t *Thread, p Ptr)     { f.frees++ }
 func (f *fakeAlloc) UsableSize(p Ptr) int      { return 8 }
 func (f *fakeAlloc) Bytes(p Ptr, n int) []byte { return nil }
 func (f *fakeAlloc) Stats() Stats              { return Stats{} }
-func (f *fakeAlloc) Space() *vm.Space          { return nil }
+func (f *fakeAlloc) Space() vm.Backend         { return nil }
 func (f *fakeAlloc) CheckIntegrity() error     { return nil }
 
 // batchFake adds a native batch path that must NOT be reached through

@@ -18,7 +18,7 @@ type LargeObj struct {
 
 // MallocLarge reserves a large object from the OS, records it against acct,
 // and returns its address.
-func MallocLarge(space *vm.Space, acct *Accounting, e env.Env, size int) Ptr {
+func MallocLarge(space vm.Backend, acct *Accounting, e env.Env, size int) Ptr {
 	lo := &LargeObj{}
 	sp := space.Reserve(size, vm.PageSize, lo)
 	lo.Size = sp.Len
@@ -31,7 +31,7 @@ func MallocLarge(space *vm.Space, acct *Accounting, e env.Env, size int) Ptr {
 
 // FreeLarge returns a large object's span to the OS. p must be the span's
 // base address.
-func FreeLarge(space *vm.Space, acct *Accounting, e env.Env, name string, sp *vm.Span, p Ptr) {
+func FreeLarge(space vm.Backend, acct *Accounting, e env.Env, name string, sp *vm.Span, p Ptr) {
 	if uint64(p) != sp.Base {
 		panic(fmt.Sprintf("%s: free of interior large-object pointer %#x", name, uint64(p)))
 	}

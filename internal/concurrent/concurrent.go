@@ -28,7 +28,7 @@ import (
 
 // Allocator is the concurrent single-heap allocator.
 type Allocator struct {
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	sbSize  int
 	// One heap per size class, each with its own lock; a "heap" here is
@@ -63,7 +63,7 @@ func New(sbSize int, lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "concurrent" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator; the concurrent heap keeps no
 // per-thread state (that is its defining limitation).

@@ -73,6 +73,13 @@ type Config struct {
 	// production configuration; the A11 experiment uses this switch as its
 	// baseline arm.
 	DisableLockFree bool
+	// Backend selects the vm substrate: "sim" (the deterministic
+	// simulated space) or "arena" (one large mmap'd reservation with real
+	// madvise decommit; Linux amd64/arm64 only). Empty defers to the
+	// HOARDGO_BACKEND environment variable, then defaults to "sim". A
+	// requested arena that cannot be created degrades to the simulated
+	// space — see Stats.BackendFallbacks and BackendFallbackReason.
+	Backend string
 }
 
 // KNone requests a literal K of zero (no slack) in Config.K.
@@ -123,6 +130,11 @@ func (c Config) validate() error {
 	if c.Heaps < 1 {
 		return fmt.Errorf("hoard: need at least one per-processor heap, got %d", c.Heaps)
 	}
+	switch c.Backend {
+	case "", "sim", "arena":
+	default:
+		return fmt.Errorf("hoard: unknown backend %q (want \"sim\" or \"arena\")", c.Backend)
+	}
 	return nil
 }
 
@@ -136,7 +148,7 @@ type largeObj struct {
 // distinct Threads.
 type Hoard struct {
 	cfg     Config
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	// heaps[0] is the global heap; heaps[1..cfg.Heaps] are per-processor.
 	heaps []*heap.Heap
@@ -165,6 +177,11 @@ type Hoard struct {
 	fastRetries   atomic.Int64
 	localReuses   atomic.Int64
 
+	// backendFallback records why a requested arena backend degraded to
+	// the simulated space ("" when the requested backend was created).
+	// Set once in New, before the allocator is shared.
+	backendFallback string
+
 	// clock stamps superblocks parked on the global heap, feeding the
 	// scavenger's cold-age filter. Wall clock by default; SetClock installs
 	// a deterministic source (see scavenge.go).
@@ -184,13 +201,15 @@ func New(cfg Config, lf env.LockFactory) *Hoard {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
+	space, fallback := openBackend(cfg)
 	h := &Hoard{
 		cfg:     cfg,
-		space:   vm.New(),
+		space:   space,
 		classes: sizeclass.New(cfg.SizeClassBase, sizeclass.Quantum, cfg.SuperblockSize/2),
 		acct:    alloc.NewSharded(cfg.Heaps + 1),
 		clock:   func() int64 { return time.Now().UnixNano() },
 	}
+	h.backendFallback = fallback
 	h.heaps = make([]*heap.Heap, cfg.Heaps+1)
 	for i := range h.heaps {
 		name := fmt.Sprintf("hoard.heap%d", i)
@@ -204,7 +223,15 @@ func New(cfg Config, lf env.LockFactory) *Hoard {
 func (h *Hoard) Name() string { return "hoard" }
 
 // Space implements alloc.Allocator.
-func (h *Hoard) Space() *vm.Space { return h.space }
+func (h *Hoard) Space() vm.Backend { return h.space }
+
+// Backend returns the name of the vm backend actually in use ("sim" or
+// "arena") — after any fallback, so it can differ from Config.Backend.
+func (h *Hoard) Backend() string { return h.space.Name() }
+
+// BackendFallbackReason returns why a requested arena backend degraded to
+// the simulated space, or "" if the requested backend was created.
+func (h *Hoard) BackendFallbackReason() string { return h.backendFallback }
 
 // Classes exposes the size-class table (used by tests and benchmarks).
 func (h *Hoard) Classes() *sizeclass.Table { return h.classes }
@@ -360,16 +387,41 @@ func (h *Hoard) mallocLarge(e env.Env, size int) alloc.Ptr {
 	return alloc.Ptr(sp.Base)
 }
 
+// resolve is the one pointer→span resolution on the free path: a single
+// backend Lookup (page-table walk on sim, address arithmetic on the arena)
+// whose result every consumer passes down instead of re-resolving.
+// BenchmarkResolveFree pins its cost per backend.
+func (h *Hoard) resolve(op string, p alloc.Ptr) *vm.Span {
+	sp := h.space.Lookup(uint64(p))
+	if sp == nil {
+		panic(fmt.Sprintf("hoard: %s of unknown pointer %#x", op, uint64(p)))
+	}
+	return sp
+}
+
+// usableOf reads a resolved block's usable size.
+func usableOf(op string, p alloc.Ptr, sp *vm.Span) int {
+	switch owner := sp.Owner.(type) {
+	case *largeObj:
+		return owner.size
+	case *superblock.Superblock:
+		return owner.BlockSize()
+	}
+	panic(fmt.Sprintf("hoard: %s of foreign pointer %#x", op, uint64(p)))
+}
+
 // Free implements alloc.Allocator.
 func (h *Hoard) Free(t *alloc.Thread, p alloc.Ptr) {
 	if p.IsNil() {
 		return
 	}
+	h.freeSpan(t, p, h.resolve("free", p))
+}
+
+// freeSpan completes a free whose pointer is already resolved, so callers
+// that needed the span themselves (Realloc) don't pay a second resolution.
+func (h *Hoard) freeSpan(t *alloc.Thread, p alloc.Ptr, sp *vm.Span) {
 	e := t.Env
-	sp := h.space.Lookup(uint64(p))
-	if sp == nil {
-		panic(fmt.Sprintf("hoard: free of unknown pointer %#x", uint64(p)))
-	}
 	switch owner := sp.Owner.(type) {
 	case *largeObj:
 		if uint64(p) != sp.Base {
@@ -544,7 +596,11 @@ func (h *Hoard) freeLocked(e env.Env, hp *heap.Heap, sb *superblock.Superblock, 
 // superblock has no blocks out.) Reports whether the superblock was
 // released; if not it stays on the heap, unsealed.
 func (h *Hoard) releaseGlobalEmpty(e env.Env, g *heap.Heap, sb *superblock.Superblock) bool {
-	if h.cfg.GlobalEmptyLimit <= 0 || !sb.Empty() ||
+	// Released() catches the loser of an emptying race: two lock-free
+	// frees can both see the superblock go empty, and both arrive here
+	// (serialized by the global lock). The first one releases; the second
+	// must see that and bail rather than release a dead superblock again.
+	if h.cfg.GlobalEmptyLimit <= 0 || sb.Released() || !sb.Empty() ||
 		g.Superblocks() <= h.cfg.GlobalEmptyLimit {
 		return false
 	}
@@ -675,36 +731,14 @@ func (h *Hoard) Reconcile(e env.Env) {
 
 // UsableSize implements alloc.Allocator.
 func (h *Hoard) UsableSize(p alloc.Ptr) int {
-	sp := h.space.Lookup(uint64(p))
-	if sp == nil {
-		panic(fmt.Sprintf("hoard: UsableSize of unknown pointer %#x", uint64(p)))
-	}
-	switch owner := sp.Owner.(type) {
-	case *largeObj:
-		return owner.size
-	case *superblock.Superblock:
-		return owner.BlockSize()
-	}
-	panic(fmt.Sprintf("hoard: UsableSize of foreign pointer %#x", uint64(p)))
+	return usableOf("UsableSize", p, h.resolve("UsableSize", p))
 }
 
-// Bytes implements alloc.Allocator. One page-table lookup resolves both the
+// Bytes implements alloc.Allocator. One resolution serves both the
 // usable-size validation and the byte view.
 func (h *Hoard) Bytes(p alloc.Ptr, n int) []byte {
-	sp := h.space.Lookup(uint64(p))
-	if sp == nil {
-		panic(fmt.Sprintf("hoard: Bytes of unknown pointer %#x", uint64(p)))
-	}
-	var usable int
-	switch owner := sp.Owner.(type) {
-	case *largeObj:
-		usable = owner.size
-	case *superblock.Superblock:
-		usable = owner.BlockSize()
-	default:
-		panic(fmt.Sprintf("hoard: Bytes of foreign pointer %#x", uint64(p)))
-	}
-	if n > usable {
+	sp := h.resolve("Bytes", p)
+	if usable := usableOf("Bytes", p, sp); n > usable {
 		panic(fmt.Sprintf("hoard: Bytes(%#x, %d) exceeds usable size %d", uint64(p), n, usable))
 	}
 	return sp.Bytes(int(uint64(p)-sp.Base), n)
@@ -713,21 +747,24 @@ func (h *Hoard) Bytes(p alloc.Ptr, n int) []byte {
 // Realloc returns a block of at least size bytes with the first
 // min(size, UsableSize(p)) bytes of p's contents, freeing p. Realloc(nil,
 // size) behaves as Malloc; growth within the current block's usable size is
-// free.
+// free. The old block is resolved exactly once — the span feeds the size
+// check, the copy, and the free (the pre-refactor path resolved it three
+// times via UsableSize, Bytes, and Free).
 func (h *Hoard) Realloc(t *alloc.Thread, p alloc.Ptr, size int) alloc.Ptr {
 	if p.IsNil() {
 		return h.Malloc(t, size)
 	}
-	old := h.UsableSize(p)
+	sp := h.resolve("realloc", p)
+	old := usableOf("realloc", p, sp)
 	if size <= old && size > old/2 {
 		return p
 	}
 	np := h.Malloc(t, size)
 	n := min(old, size)
-	copy(h.Bytes(np, n), h.Bytes(p, n))
+	copy(h.Bytes(np, n), sp.Bytes(int(uint64(p)-sp.Base), n))
 	t.Env.Touch(uint64(p), n, false)
 	t.Env.Touch(uint64(np), n, true)
-	h.Free(t, p)
+	h.freeSpan(t, p, sp)
 	return np
 }
 
@@ -751,6 +788,9 @@ func (h *Hoard) Stats() alloc.Stats {
 	st.LockFreeFrees = h.lfFrees.Load()
 	st.FastPathRetries = h.fastRetries.Load()
 	st.LocalReuses = h.localReuses.Load()
+	if h.backendFallback != "" {
+		st.BackendFallbacks = 1
+	}
 	return st
 }
 

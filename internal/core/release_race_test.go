@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"hoardgo/internal/env"
+	"hoardgo/internal/superblock"
+)
+
+// TestReleaseGlobalEmptyRaceLoser is the regression test for a double
+// release: two lock-free frees can both observe the same superblock's
+// emptying transition and both reach the GlobalEmptyLimit policy (the
+// global lock serializes them, but both get in). The winner releases the
+// superblock; the loser, replayed here deterministically, must see
+// Released() and bail instead of releasing the dead superblock's nil span
+// again.
+func TestReleaseGlobalEmptyRaceLoser(t *testing.T) {
+	h := newHoard(Config{Heaps: 1, GlobalEmptyLimit: 1})
+	e := &env.RealEnv{ID: 0}
+	g := h.heaps[0]
+
+	a := superblock.New(h.space, h.cfg.SuperblockSize, 2, 64)
+	a.SetOwnerID(0)
+	b := superblock.New(h.space, h.cfg.SuperblockSize, 2, 64)
+	b.SetOwnerID(0)
+	env.LockWith(g.Lock, e, "test")
+	defer g.Lock.Unlock(e)
+	g.Insert(a)
+	g.Insert(b)
+
+	// The winner: over the limit, empty, live — released.
+	if !h.releaseGlobalEmpty(e, g, a) {
+		t.Fatal("first release refused")
+	}
+	if !a.Released() {
+		t.Fatal("winner's superblock still holds its span")
+	}
+	// The loser: same superblock, still empty by the word, but already
+	// dead. Must refuse (and above all must not panic on the nil span).
+	if h.releaseGlobalEmpty(e, g, a) {
+		t.Fatal("released the same superblock twice")
+	}
+	// The policy still works for live superblocks afterwards... once the
+	// heap is over its cap again.
+	if h.releaseGlobalEmpty(e, g, b) {
+		t.Fatal("released below the cap")
+	}
+	c := superblock.New(h.space, h.cfg.SuperblockSize, 2, 64)
+	c.SetOwnerID(0)
+	g.Insert(c)
+	if !h.releaseGlobalEmpty(e, g, c) {
+		t.Fatal("release refused above the cap")
+	}
+}

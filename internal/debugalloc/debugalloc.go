@@ -79,7 +79,7 @@ func New(inner alloc.Allocator, cfg Config) *Allocator {
 func (a *Allocator) Name() string { return a.inner.Name() + "+debug" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.inner.Space() }
+func (a *Allocator) Space() vm.Backend { return a.inner.Space() }
 
 // Inner returns the wrapped allocator.
 func (a *Allocator) Inner() alloc.Allocator { return a.inner }

@@ -50,7 +50,7 @@ type segTag struct{}
 
 // Allocator is the boundary-tag coalescing allocator.
 type Allocator struct {
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	lock    env.Lock
 	// bins[b] heads a doubly-linked list of free chunks whose size is in
@@ -75,7 +75,7 @@ func New(lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "dlheap" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator (no per-thread state: serial heap).
 func (a *Allocator) NewThread(e env.Env) *alloc.Thread {

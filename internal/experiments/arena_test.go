@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"hoardgo/internal/vm"
+)
+
+func requireArena(t *testing.T) {
+	t.Helper()
+	a, err := vm.NewArena(vm.ArenaOptions{SlotRegionBytes: 16 << 20, LargeRegionBytes: 16 << 20})
+	if err != nil {
+		t.Skipf("arena backend unavailable: %v", err)
+	}
+	a.Close()
+}
+
+func TestMeasureResolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	requireArena(t)
+	res, err := MeasureResolve(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want sim + arena", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.NSPerLookup <= 0 {
+			t.Fatalf("%s: ns/lookup = %v", e.Backend, e.NSPerLookup)
+		}
+	}
+	t.Logf("sim %.2f ns vs arena %.2f ns: %.2fx",
+		res.Entries[0].NSPerLookup, res.Entries[1].NSPerLookup, res.Speedup)
+	// The committed-artifact threshold is 2x; the unit test only insists
+	// the arithmetic path is not slower, to stay robust on noisy CI boxes.
+	if res.Speedup < 1 {
+		t.Fatalf("arena resolution slower than page table: %.2fx", res.Speedup)
+	}
+}
+
+func TestMeasureArenaThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	requireArena(t)
+	tps, err := MeasureArenaThroughput(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBackend := map[string]int{}
+	for _, e := range tps {
+		if e.Ops == 0 || e.OpsPerMS <= 0 {
+			t.Fatalf("%s/P=%d: empty measurement %+v", e.Backend, e.Procs, e)
+		}
+		byBackend[e.Backend]++
+	}
+	if byBackend["sim"] == 0 || byBackend["sim"] != byBackend["arena"] {
+		t.Fatalf("uneven sweep: %v", byBackend)
+	}
+}
+
+func TestMeasureArenaRSS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	requireArena(t)
+	entries, err := MeasureArenaRSS(Quick)
+	if err != nil {
+		t.Skipf("rss measurement unavailable: %v", err)
+	}
+	byMode := map[string]ArenaRSSEntry{}
+	for _, e := range entries {
+		byMode[e.Mode] = e
+		t.Logf("%-8s peak %d final %d scavenges %d decommitted %d",
+			e.Mode, e.PeakDelta, e.FinalDelta, e.ScavengePasses, e.DecommittedBytes)
+	}
+	forced := byMode["forced"]
+	if forced.ScavengePasses == 0 || forced.ScavengedBytes == 0 {
+		t.Fatal("forced mode never scavenged")
+	}
+	if byMode["off"].ScavengePasses != 0 {
+		t.Fatal("off mode scavenged")
+	}
+	// The real-pages criterion (enforced strictly in the artifact writer):
+	// forced release must show up in the OS's RSS accounting.
+	if forced.PeakDelta > 0 && forced.FinalDelta >= forced.PeakDelta {
+		t.Fatalf("forced release did not lower RSS: peak %d, final %d",
+			forced.PeakDelta, forced.FinalDelta)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hoardgo/internal/env"
 	"hoardgo/internal/superblock"
 	"hoardgo/internal/vm"
+	"hoardgo/internal/vm/vmtest"
 )
 
 var (
@@ -27,12 +28,12 @@ func newHeap(id int) *Heap {
 	return New(id, testS, 0.25, 0, testClasses, lf.NewLock("h"))
 }
 
-func newSuper(space *vm.Space, class int) *superblock.Superblock {
+func newSuper(space vm.Backend, class int) *superblock.Superblock {
 	return superblock.New(space, testS, class, blockSizeFor(class))
 }
 
 func TestInsertRemoveAccounting(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 2)
 	p, _ := sb.AllocBlock(e) // pre-populate before insert
@@ -54,7 +55,7 @@ func TestInsertRemoveAccounting(t *testing.T) {
 }
 
 func TestAllocPrefersFullestGroup(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	// Class 2, 8KB/32B = 256 blocks. Make one nearly full, one nearly empty.
 	full := newSuper(space, 2)
@@ -78,7 +79,7 @@ func TestAllocPrefersFullestGroup(t *testing.T) {
 }
 
 func TestAllocSkipsFullSuperblocks(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 0)
 	for !sb.Full() {
@@ -94,7 +95,7 @@ func TestAllocSkipsFullSuperblocks(t *testing.T) {
 }
 
 func TestRegroupOnFreeAndAlloc(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 2)
 	h.Insert(sb)
@@ -124,7 +125,7 @@ func TestRegroupOnFreeAndAlloc(t *testing.T) {
 }
 
 func TestInvariant(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	// One completely empty superblock: u=0, a=S. With K=0 and f=1/4 the
 	// invariant u >= a-K*S fails and u >= (1-f)*a fails => violated.
@@ -143,7 +144,7 @@ func TestInvariant(t *testing.T) {
 }
 
 func TestInvariantRespectsK(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := New(1, testS, 0.25, 2, testClasses, lf.NewLock("h"))
 	h.Insert(newSuper(space, 2))
 	h.Insert(newSuper(space, 2))
@@ -158,7 +159,7 @@ func TestInvariantRespectsK(t *testing.T) {
 }
 
 func TestFindEvictablePrefersEmptiest(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	nearlyFull := newSuper(space, 2)
 	for nearlyFull.Fullness() < 0.9 {
@@ -179,7 +180,7 @@ func TestFindEvictablePrefersEmptiest(t *testing.T) {
 }
 
 func TestFindEvictableNone(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 2)
 	for !sb.Full() {
@@ -196,7 +197,7 @@ func TestInvariantViolationImpliesEvictable(t *testing.T) {
 	// some superblock is at least f empty. Fuzz random states.
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 200; trial++ {
-		space := vm.New()
+		space := vmtest.NewSized(t, testS)
 		h := newHeap(1)
 		n := 1 + rng.Intn(6)
 		for i := 0; i < n; i++ {
@@ -215,7 +216,7 @@ func TestInvariantViolationImpliesEvictable(t *testing.T) {
 }
 
 func TestTakeSuperSameClassFirst(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	g := newHeap(0)
 	other := newSuper(space, 1) // empty, other class
 	same := newSuper(space, 2)
@@ -243,7 +244,7 @@ func TestTakeSuperSameClassFirst(t *testing.T) {
 }
 
 func TestTakeSuperDoesNotStealPartialOtherClass(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	g := newHeap(0)
 	partial := newSuper(space, 1)
 	partial.AllocBlock(e)
@@ -257,7 +258,7 @@ func TestTakeSuperDoesNotStealPartialOtherClass(t *testing.T) {
 // long random operation sequences.
 func TestRandomizedHeapModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	live := make(map[alloc.Ptr]int) // ptr -> class
 	for op := 0; op < 5000; op++ {
@@ -298,7 +299,7 @@ func TestRandomizedHeapModel(t *testing.T) {
 }
 
 func TestBadFreePanics(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 2)
 	sb.SetOwnerID(9) // owned elsewhere
@@ -317,7 +318,7 @@ func TestBadFreePanics(t *testing.T) {
 // down the list (a live eviction turns that superblock's future frees into
 // serialized global-heap traffic).
 func TestFindEvictablePrefersEmptyOverGroupHead(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	empty := newSuper(space, 2)
 	h.Insert(empty)
@@ -340,7 +341,7 @@ func TestFindEvictablePrefersEmptyOverGroupHead(t *testing.T) {
 // heaps together, so empties go first even when a fuller superblock of the
 // class exists.
 func TestTakeSuperPrefersEmptySameClass(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	g := newHeap(0)
 	partial := newSuper(space, 2)
 	for partial.Fullness() < 0.10 {
@@ -357,7 +358,7 @@ func TestTakeSuperPrefersEmptySameClass(t *testing.T) {
 // --- Remote-free drains ---
 
 func TestDrainAllRebucketsAndAdjustsU(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 2) // 256 blocks of 32 B
 	var ps []alloc.Ptr
@@ -398,7 +399,7 @@ func TestDrainAllRebucketsAndAdjustsU(t *testing.T) {
 }
 
 func TestFreeBlockDrainsSameSuperblock(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 1)
 	a, _ := sb.AllocBlock(e)
@@ -419,7 +420,7 @@ func TestFreeBlockDrainsSameSuperblock(t *testing.T) {
 }
 
 func TestInsertFoldsPendingIntoHint(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	src := newHeap(1)
 	dst := newHeap(2)
 	sb := newSuper(space, 0)
@@ -440,7 +441,7 @@ func TestInsertFoldsPendingIntoHint(t *testing.T) {
 }
 
 func TestTakeSuperDrainsFirst(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	g := newHeap(0)
 	sb := newSuper(space, 3)
 	var ps []alloc.Ptr
@@ -473,7 +474,7 @@ func TestTakeSuperDrainsFirst(t *testing.T) {
 // left it behind, permanently inflating the hint and triggering pointless
 // drain sweeps on every subsequent operation.
 func TestRemoveDropsPendingHint(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	src := newHeap(1)
 	dst := newHeap(2)
 	sb := newSuper(space, 0)
@@ -532,7 +533,7 @@ func TestRemoveDropsPendingHint(t *testing.T) {
 // block onto the remote stack before its NoteRemotePush lands. Remove must
 // clamp at zero rather than drive the hint negative.
 func TestRemoveClampsPendingHint(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	sb := newSuper(space, 0)
 	p, _ := sb.AllocBlock(e)

@@ -6,11 +6,12 @@ import (
 
 	"hoardgo/internal/superblock"
 	"hoardgo/internal/vm"
+	"hoardgo/internal/vm/vmtest"
 )
 
 // parkEmpty inserts n empty superblocks of the given class with ascending
 // park stamps stamp0, stamp0+1, ...
-func parkEmpty(h *Heap, space *vm.Space, class, n int, stamp0 int64) []*superblock.Superblock {
+func parkEmpty(h *Heap, space vm.Backend, class, n int, stamp0 int64) []*superblock.Superblock {
 	sbs := make([]*superblock.Superblock, n)
 	for i := range sbs {
 		sb := newSuper(space, class)
@@ -22,7 +23,7 @@ func parkEmpty(h *Heap, space *vm.Space, class, n int, stamp0 int64) []*superblo
 }
 
 func TestScavengeEmptiesOldestFirst(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	sbs := parkEmpty(h, space, 2, 4, 10) // stamps 10, 11, 12, 13
 	released, n := h.ScavengeEmpties(e, 2*testS, math.MaxInt64)
@@ -52,7 +53,7 @@ func TestScavengeEmptiesOldestFirst(t *testing.T) {
 }
 
 func TestScavengeEmptiesColdAge(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	parkEmpty(h, space, 1, 3, 100) // stamps 100, 101, 102
 	released, n := h.ScavengeEmpties(e, 100*testS, 101)
@@ -66,7 +67,7 @@ func TestScavengeEmptiesColdAge(t *testing.T) {
 }
 
 func TestScavengeSkipsNonEmpty(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	sb := newSuper(space, 2)
 	h.Insert(sb)
@@ -82,7 +83,7 @@ func TestScavengeSkipsNonEmpty(t *testing.T) {
 }
 
 func TestEmptyCommittedBytesExcludesDecommitted(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	parkEmpty(h, space, 3, 3, 0)
 	if got := h.EmptyCommittedBytes(e); got != 3*testS {
@@ -95,7 +96,7 @@ func TestEmptyCommittedBytesExcludesDecommitted(t *testing.T) {
 }
 
 func TestTakeSuperRecommitsSameClass(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	parkEmpty(h, space, 2, 1, 0)
 	h.ScavengeEmpties(e, testS, math.MaxInt64)
@@ -119,7 +120,7 @@ func TestTakeSuperRecommitsSameClass(t *testing.T) {
 }
 
 func TestTakeSuperRecommitsCrossClass(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(0)
 	parkEmpty(h, space, 5, 1, 0)
 	h.ScavengeEmpties(e, testS, math.MaxInt64)

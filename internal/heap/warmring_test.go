@@ -4,14 +4,14 @@ import (
 	"testing"
 
 	"hoardgo/internal/alloc"
-	"hoardgo/internal/vm"
+	"hoardgo/internal/vm/vmtest"
 )
 
 // TestWarmRingPublishDedup pins PublishWarm's consecutive-duplicate drop: a
 // run of frees to one superblock must occupy one ring slot, not flood the
 // ring with copies that evict every other candidate.
 func TestWarmRingPublishDedup(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	a := newSuper(space, 2)
 	b := newSuper(space, 2)
@@ -62,7 +62,7 @@ func TestWarmRingPublishDedup(t *testing.T) {
 // put the emptiest superblocks (longest free lists) in the low slots and skip
 // live-full ones entirely.
 func TestArmRingPrefersEmptiest(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	full := newSuper(space, 2)
 	for {
@@ -97,7 +97,7 @@ func TestArmRingPrefersEmptiest(t *testing.T) {
 // a(i) unchanged, while partial superblocks and same-class superblocks are
 // never touched.
 func TestReuseEmpty(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, testS)
 	h := newHeap(1)
 	partial := newSuper(space, 3)
 	partial.AllocBlock(e)

@@ -55,7 +55,7 @@ type threadState struct{ home int }
 // Allocator is the private-heaps-with-ownership allocator.
 type Allocator struct {
 	cfg     Config
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	arenas  []*arena
 	acct    alloc.Accounting
@@ -93,7 +93,7 @@ func New(cfg Config, lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "ownership" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator; threads are assigned home arenas
 // round-robin by id.

@@ -49,7 +49,7 @@ type carveState struct {
 
 // Allocator is the pure-private-heaps allocator.
 type Allocator struct {
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	sbSize  int
 	acct    alloc.Accounting
@@ -78,7 +78,7 @@ func New(sbSize int, lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "private" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator.
 func (a *Allocator) NewThread(e env.Env) *alloc.Thread {

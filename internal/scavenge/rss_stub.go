@@ -1,0 +1,11 @@
+//go:build !linux
+
+package scavenge
+
+import "errors"
+
+// ErrNoRSS is returned by ReadRSS on platforms without /proc/self/statm.
+var ErrNoRSS = errors.New("scavenge: RSS measurement requires /proc/self/statm (linux)")
+
+// ReadRSS is unavailable on this platform.
+func ReadRSS() (int64, error) { return 0, ErrNoRSS }

@@ -24,7 +24,7 @@ import (
 
 // Allocator is the serial single-heap allocator.
 type Allocator struct {
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	sbSize  int
 	h       *heap.Heap
@@ -58,7 +58,7 @@ func New(sbSize int, lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "serial" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator. The serial allocator keeps no
 // per-thread state.

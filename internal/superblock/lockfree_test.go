@@ -7,7 +7,7 @@ import (
 
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/env"
-	"hoardgo/internal/vm"
+	"hoardgo/internal/vm/vmtest"
 )
 
 // freeBitPop counts the set bits of the free bitmap. The bitmap marks every
@@ -35,7 +35,7 @@ func freeBitPop(sb *Superblock) int {
 func TestPropertyFullnessWordConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for iter := 0; iter < 10; iter++ {
-		space := vm.New()
+		space := vmtest.NewSized(t, DefaultSize)
 		sb := New(space, DefaultSize, 2, 256) // 32 blocks: dense churn
 		sb.Unseal()
 		ref := sb.SelfRef()
@@ -127,7 +127,7 @@ func TestPropertyFullnessWordConsistency(t *testing.T) {
 // the bitmap agree. Run under -race this doubles as the memory-model check
 // for the CAS protocol.
 func TestLockFreeConcurrentWordConsistency(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, DefaultSize)
 	sb := New(space, DefaultSize, 2, 64)
 	sb.Unseal()
 	ref := sb.SelfRef()
@@ -213,7 +213,7 @@ func TestLockFreeConcurrentWordConsistency(t *testing.T) {
 // while the locked paths still work — exactly what eviction and decommit
 // rely on.
 func TestFastPathsRespectSeal(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, DefaultSize)
 	sb := New(space, DefaultSize, 2, 128)
 	sb.Unseal()
 	ref := sb.SelfRef()

@@ -171,7 +171,7 @@ type Superblock struct {
 // it as a superblock of the given class and block size. blockSize must be a
 // positive multiple of 8 no larger than size. The superblock starts sealed;
 // inserting it into a per-processor heap unseals it.
-func New(space *vm.Space, size, class, blockSize int) *Superblock {
+func New(space vm.Backend, size, class, blockSize int) *Superblock {
 	if blockSize <= 0 || blockSize%8 != 0 || blockSize > size {
 		panic(fmt.Sprintf("superblock: bad block size %d for S=%d", blockSize, size))
 	}
@@ -236,7 +236,7 @@ func (sb *Superblock) Reinit(class, blockSize int) {
 // Release returns the superblock's span to the simulated OS. The superblock
 // must be empty and must no longer be reachable from any heap; Release seals
 // it so any stale warm Ref sees an empty, sealed word forever.
-func (sb *Superblock) Release(space *vm.Space) {
+func (sb *Superblock) Release(space vm.Backend) {
 	sb.Seal()
 	if n := sb.InUse(); n != 0 {
 		panic("superblock: Release with blocks in use")
@@ -255,6 +255,13 @@ func (sb *Superblock) Release(space *vm.Space) {
 	sb.span = nil
 	sb.decommitted = false
 }
+
+// Released reports whether Release already returned the superblock's span
+// to the OS. Only meaningful under the lock that serializes Release for
+// this superblock (the global heap lock, for global-heap superblocks): two
+// frees can race to observe the same emptying transition, and the loser
+// must not release twice.
+func (sb *Superblock) Released() bool { return sb.span == nil }
 
 // Seal sets the word's sealed bit, fencing every lock-free path off the
 // superblock: a fast op that loads the word sees the bit and bails, and one
@@ -359,7 +366,7 @@ func (sb *Superblock) SetParkedAt(ns int64) { sb.parkedAt.Store(ns) }
 // page map, the moral equivalent of the paper's per-block header. ok is
 // false if p does not belong to any live superblock (e.g. it is a large
 // object or garbage).
-func FromPtr(space *vm.Space, p alloc.Ptr) (*Superblock, bool) {
+func FromPtr(space vm.Backend, p alloc.Ptr) (*Superblock, bool) {
 	sp := space.Lookup(uint64(p))
 	if sp == nil {
 		return nil, false

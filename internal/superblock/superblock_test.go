@@ -9,13 +9,14 @@ import (
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/env"
 	"hoardgo/internal/vm"
+	"hoardgo/internal/vm/vmtest"
 )
 
 var e = &env.RealEnv{}
 
-func newSB(t testing.TB, blockSize int) (*vm.Space, *Superblock) {
+func newSB(t testing.TB, blockSize int) (vm.Backend, *Superblock) {
 	t.Helper()
-	space := vm.New()
+	space := vmtest.NewSized(t, DefaultSize)
 	return space, New(space, DefaultSize, 3, blockSize)
 }
 
@@ -166,7 +167,7 @@ func TestReleaseInvalidatesFromPtr(t *testing.T) {
 }
 
 func TestFromPtrForeign(t *testing.T) {
-	space := vm.New()
+	space := vmtest.NewSized(t, DefaultSize)
 	sp := space.Reserve(4096, 0, "not a superblock")
 	if _, ok := FromPtr(space, alloc.Ptr(sp.Base)); ok {
 		t.Fatal("FromPtr treated foreign span as superblock")

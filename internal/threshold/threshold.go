@@ -57,7 +57,7 @@ type threadState struct {
 // Allocator is the private-heaps-with-thresholds allocator.
 type Allocator struct {
 	cfg     Config
-	space   *vm.Space
+	space   vm.Backend
 	classes *sizeclass.Table
 	pools   []*classPool
 	acct    alloc.Accounting
@@ -97,7 +97,7 @@ func New(cfg Config, lf env.LockFactory) *Allocator {
 func (a *Allocator) Name() string { return "threshold" }
 
 // Space implements alloc.Allocator.
-func (a *Allocator) Space() *vm.Space { return a.space }
+func (a *Allocator) Space() vm.Backend { return a.space }
 
 // NewThread implements alloc.Allocator.
 func (a *Allocator) NewThread(e env.Env) *alloc.Thread {

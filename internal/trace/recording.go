@@ -30,7 +30,7 @@ func (r *Recording) Inner() alloc.Allocator { return r.inner }
 func (r *Recording) Name() string { return r.inner.Name() + "+record" }
 
 // Space implements alloc.Allocator.
-func (r *Recording) Space() *vm.Space { return r.inner.Space() }
+func (r *Recording) Space() vm.Backend { return r.inner.Space() }
 
 // NewThread implements alloc.Allocator.
 func (r *Recording) NewThread(e env.Env) *alloc.Thread { return r.inner.NewThread(e) }

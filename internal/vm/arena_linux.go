@@ -1,0 +1,315 @@
+//go:build linux && (amd64 || arm64)
+
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Default arena geometry. Virtual-only: nothing is committed until reserved,
+// so the cost of a big reservation is a few MiB of index tables, not memory.
+const (
+	// DefaultArenaSpanSize is the slot size of the superblock region — the
+	// paper's S = 8 KiB.
+	DefaultArenaSpanSize = 8192
+	// DefaultSlotRegionBytes is the virtual size of the superblock slot
+	// region (1 GiB = 131072 default-size superblocks).
+	DefaultSlotRegionBytes = 1 << 30
+	// DefaultLargeRegionBytes is the virtual size of the large-object
+	// region.
+	DefaultLargeRegionBytes = 512 << 20
+)
+
+// Arena is the real-memory Backend: one large mmap'd virtual reservation,
+// split into a slot region of SpanSize superblock slots and a large region
+// for variable-size spans.
+//
+// The reservation is mapped PROT_NONE with MAP_NORESERVE, so it consumes
+// address space only. Reserve commits its span with mprotect(PROT_READ|
+// PROT_WRITE) — physical pages arrive on first touch — and Span.Decommit
+// issues a real madvise(MADV_DONTNEED), so pages the scavenger releases
+// genuinely leave the process RSS and read back as zeros if re-touched.
+//
+// Resolution is address arithmetic: a span address in the slot region
+// resolves with one subtract, one shift, and one atomic slot load — no page
+// table walk, and slot spans need no bounds re-check because a slot holds
+// exactly one span. Addresses in the large region fall back to a flat
+// page-indexed table (still a single load, just page- instead of
+// slot-granular).
+type Arena struct {
+	counters
+
+	mu sync.Mutex
+
+	mem []byte // the raw reservation; unmapped by Close
+
+	base      uint64 // SpanSize-aligned start of the slot region
+	slotLen   uint64 // byte length of the slot region
+	spanSize  int
+	spanShift uint
+	nSlots    int
+
+	largeBase uint64
+	largeEnd  uint64
+
+	slots      []atomic.Pointer[Span] // one per slot
+	largePages []atomic.Pointer[Span] // one per page of the large region
+
+	nextSlot  int
+	slotFree  []*Span // released slot spans, for reuse
+	largeNext uint64
+	largePool map[int][]*Span // released large spans by length
+
+	closed bool
+}
+
+// NewArena maps the virtual reservation and returns the arena backend. It
+// returns an error (never panics) if the platform refuses the mapping —
+// callers degrade to the simulated backend.
+func NewArena(opts ArenaOptions) (Backend, error) {
+	o := opts
+	if o.SpanSize == 0 {
+		o.SpanSize = DefaultArenaSpanSize
+	}
+	if o.SlotRegionBytes == 0 {
+		o.SlotRegionBytes = DefaultSlotRegionBytes
+	}
+	if o.LargeRegionBytes == 0 {
+		o.LargeRegionBytes = DefaultLargeRegionBytes
+	}
+	if o.SpanSize < PageSize || o.SpanSize&(o.SpanSize-1) != 0 {
+		return nil, fmt.Errorf("vm: arena span size %d must be a power of two ≥ %d", o.SpanSize, PageSize)
+	}
+	ss := int64(o.SpanSize)
+	o.SlotRegionBytes = (o.SlotRegionBytes + ss - 1) / ss * ss
+	o.LargeRegionBytes = (o.LargeRegionBytes + ss - 1) / ss * ss
+	total := o.SlotRegionBytes + o.LargeRegionBytes + ss // slack to align the base
+	if total > 1<<46 {
+		return nil, fmt.Errorf("vm: arena reservation %d bytes too large", total)
+	}
+
+	mem, err := syscall.Mmap(-1, 0, int(total),
+		syscall.PROT_NONE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANON|syscall.MAP_NORESERVE)
+	if err != nil {
+		return nil, fmt.Errorf("vm: arena reservation of %d bytes: %w", total, err)
+	}
+
+	raw := uint64(uintptr(unsafe.Pointer(&mem[0])))
+	base := (raw + uint64(ss) - 1) &^ (uint64(ss) - 1)
+	a := &Arena{
+		mem:       mem,
+		base:      base,
+		slotLen:   uint64(o.SlotRegionBytes),
+		spanSize:  o.SpanSize,
+		spanShift: uint(bits.TrailingZeros64(uint64(o.SpanSize))),
+		nSlots:    int(o.SlotRegionBytes / ss),
+		largeBase: base + uint64(o.SlotRegionBytes),
+		largeEnd:  base + uint64(o.SlotRegionBytes) + uint64(o.LargeRegionBytes),
+		largePool: make(map[int][]*Span),
+	}
+	a.slots = make([]atomic.Pointer[Span], a.nSlots)
+	a.largePages = make([]atomic.Pointer[Span], o.LargeRegionBytes>>PageShift)
+	a.largeNext = a.largeBase
+	return a, nil
+}
+
+// Name identifies the arena backend.
+func (a *Arena) Name() string { return "arena" }
+
+// SetPoison is a no-op on the arena: the OS guarantees decommitted pages
+// read back as zeros, which is the property the simulated backend's poison
+// patterns exist to emulate.
+func (a *Arena) SetPoison(on bool) {}
+
+// Reserve returns a committed span of size bytes aligned to align.
+// Reservations of exactly the arena's span size land in the slot region and
+// resolve by pure arithmetic; everything else goes to the large region.
+// Reserve panics if the region is exhausted — the virtual reservation is
+// fixed at NewArena time.
+func (a *Arena) Reserve(size, align int, owner any) *Span {
+	size, align = checkReserve(size, align)
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		panic("vm: Reserve on closed arena")
+	}
+	var sp *Span
+	if size == a.spanSize && align <= a.spanSize {
+		sp = a.reserveSlotLocked()
+	} else {
+		sp = a.reserveLargeLocked(size, align)
+	}
+	sp.Owner = owner
+	a.publishLocked(sp)
+	a.mu.Unlock()
+
+	a.reserves.Add(1)
+	a.addReserved(int64(size))
+	a.addCommitted(int64(size))
+	return sp
+}
+
+func (a *Arena) reserveSlotLocked() *Span {
+	if n := len(a.slotFree); n > 0 {
+		sp := a.slotFree[n-1]
+		a.slotFree = a.slotFree[:n-1]
+		a.recycled.Add(1)
+		return sp
+	}
+	if a.nextSlot >= a.nSlots {
+		panic(fmt.Sprintf("vm: arena slot region exhausted (%d spans of %d bytes)", a.nSlots, a.spanSize))
+	}
+	i := a.nextSlot
+	a.nextSlot++
+	base := a.base + uint64(i)<<a.spanShift
+	return &Span{Base: base, Len: a.spanSize, data: a.commit(base, a.spanSize), host: a}
+}
+
+func (a *Arena) reserveLargeLocked(size, align int) *Span {
+	list := a.largePool[size]
+	for i, sp := range list {
+		if sp.Base&(uint64(align)-1) == 0 {
+			list[i] = list[len(list)-1]
+			a.largePool[size] = list[:len(list)-1]
+			a.recycled.Add(1)
+			return sp
+		}
+	}
+	base := (a.largeNext + uint64(align) - 1) &^ (uint64(align) - 1)
+	if base < a.largeBase || base+uint64(size) > a.largeEnd {
+		panic(fmt.Sprintf("vm: arena large region exhausted (want %d bytes)", size))
+	}
+	a.largeNext = base + uint64(size)
+	return &Span{Base: base, Len: size, data: a.commit(base, size), host: a}
+}
+
+// commit makes [base, base+n) readable and writable. Physical pages arrive
+// lazily on first touch; the committed counters are maintained by the
+// caller.
+func (a *Arena) commit(base uint64, n int) []byte {
+	off := int(base - a.memBase())
+	seg := a.mem[off : off+n : off+n]
+	if err := syscall.Mprotect(seg, syscall.PROT_READ|syscall.PROT_WRITE); err != nil {
+		panic(fmt.Sprintf("vm: mprotect(%#x, %d): %v", base, n, err))
+	}
+	return seg
+}
+
+func (a *Arena) memBase() uint64 {
+	return uint64(uintptr(unsafe.Pointer(&a.mem[0])))
+}
+
+// madvise returns the physical pages of [base, base+n) to the OS. The
+// mapping stays intact and writable; the next touch faults in a zero page.
+func (a *Arena) madvise(base uint64, n int) {
+	off := int(base - a.memBase())
+	if err := syscall.Madvise(a.mem[off:off+n], syscall.MADV_DONTNEED); err != nil {
+		panic(fmt.Sprintf("vm: madvise(%#x, %d, DONTNEED): %v", base, n, err))
+	}
+}
+
+// Release returns a span to the arena. Its physical pages go back to the OS
+// immediately (madvise), its addresses stop resolving, and the span is
+// pooled for reuse by the next Reserve of the same size.
+func (a *Arena) Release(sp *Span) {
+	if sp == nil {
+		panic("vm: Release(nil)")
+	}
+	a.mu.Lock()
+	a.unpublishLocked(sp)
+	sp.Owner = nil
+	backed := int64(sp.Len) - resetDecommitState(sp, &a.counters)
+	a.madvise(sp.Base, sp.Len)
+	if a.isSlot(sp.Base) {
+		a.slotFree = append(a.slotFree, sp)
+	} else {
+		a.largePool[sp.Len] = append(a.largePool[sp.Len], sp)
+	}
+	a.mu.Unlock()
+
+	a.releases.Add(1)
+	a.reserved.Add(int64(-sp.Len))
+	a.committed.Add(-backed)
+}
+
+func (a *Arena) isSlot(addr uint64) bool { return addr-a.base < a.slotLen }
+
+func (a *Arena) publishLocked(sp *Span) {
+	if a.isSlot(sp.Base) {
+		a.slots[(sp.Base-a.base)>>a.spanShift].Store(sp)
+		return
+	}
+	for addr := sp.Base; addr < sp.End(); addr += PageSize {
+		a.largePages[(addr-a.largeBase)>>PageShift].Store(sp)
+	}
+}
+
+func (a *Arena) unpublishLocked(sp *Span) {
+	if a.isSlot(sp.Base) {
+		a.slots[(sp.Base-a.base)>>a.spanShift].Store(nil)
+		return
+	}
+	for addr := sp.Base; addr < sp.End(); addr += PageSize {
+		a.largePages[(addr-a.largeBase)>>PageShift].Store(nil)
+	}
+}
+
+// Lookup resolves addr to its live span by address arithmetic: in the slot
+// region it is one subtract, one shift, and one atomic load, with no bounds
+// re-check because a slot holds exactly one span of exactly the slot size.
+// It is lock-free and safe for concurrent use.
+func (a *Arena) Lookup(addr uint64) *Span {
+	if off := addr - a.base; off < a.slotLen {
+		return a.slots[off>>a.spanShift].Load()
+	}
+	if addr >= a.largeBase && addr < a.largeEnd {
+		sp := a.largePages[(addr-a.largeBase)>>PageShift].Load()
+		if sp == nil || addr < sp.Base || addr >= sp.End() {
+			return nil
+		}
+		return sp
+	}
+	return nil
+}
+
+// Bytes returns a view of n bytes of backing memory at addr, panicking if
+// the range is not fully inside one live span.
+func (a *Arena) Bytes(addr uint64, n int) []byte {
+	return backendBytes(a, addr, n)
+}
+
+// Close unmaps the reservation. Every span obtained from the arena is
+// invalid afterwards — Close must only run once the owning allocator is
+// quiescent. It is idempotent.
+func (a *Arena) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	mem := a.mem
+	a.mem = nil
+	a.slots, a.largePages = nil, nil
+	a.slotFree, a.largePool = nil, nil
+	return syscall.Munmap(mem)
+}
+
+// spanHost hooks: decommit is a real madvise; recommit is free because the
+// kernel zero-fills on the next touch.
+
+func (a *Arena) spanMu() *sync.Mutex { return &a.mu }
+func (a *Arena) counts() *counters   { return &a.counters }
+
+func (a *Arena) dropPages(sp *Span, off, n int) {
+	a.madvise(sp.Base+uint64(off), n)
+}
+
+func (a *Arena) backPages(sp *Span, off, n int) {}

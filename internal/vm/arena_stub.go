@@ -1,0 +1,10 @@
+//go:build !(linux && (amd64 || arm64))
+
+package vm
+
+// NewArena is unavailable on this platform: the arena backend needs mmap,
+// mprotect, and madvise with Linux semantics. Callers fall back to the
+// simulated backend.
+func NewArena(opts ArenaOptions) (Backend, error) {
+	return nil, ErrArenaUnsupported
+}

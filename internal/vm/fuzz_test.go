@@ -2,107 +2,128 @@ package vm
 
 import "testing"
 
-// FuzzReserveRelease drives the address space with byte-coded operations —
-// reserve, release, decommit, recommit — and checks lookup consistency,
+// fuzzBackends builds one instance of every backend available on this
+// platform for a fuzz iteration. The arena gets small regions: each
+// iteration creates a fresh pair and closes it on cleanup.
+func fuzzBackends(t *testing.T) map[string]Backend {
+	bs := map[string]Backend{"sim": New()}
+	if a, err := NewArena(ArenaOptions{SlotRegionBytes: 32 << 20, LargeRegionBytes: 32 << 20}); err == nil {
+		t.Cleanup(func() { a.Close() })
+		bs["arena"] = a
+	}
+	return bs
+}
+
+// FuzzReserveRelease drives a backend with byte-coded operations — reserve,
+// release, decommit, recommit — and checks lookup consistency,
 // reserved/committed accounting, the reserved >= committed invariant, and
-// that no decommitted address is ever handed out, at every step.
+// that no decommitted address is ever handed out, at every step. Every input
+// runs against BOTH backends (sim always, arena where the platform has one),
+// so the two implementations are held to the same observable contract.
 func FuzzReserveRelease(f *testing.F) {
 	f.Add([]byte{0x01, 0x02, 0x80, 0x03})
 	f.Add([]byte{0xFF, 0xFF, 0x00, 0x01, 0x02, 0x03, 0x04})
 	f.Add([]byte{0x00, 0x04, 0x02, 0x00, 0x06, 0x01, 0x02, 0x00, 0x01, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s := New()
-		type span struct {
-			sp    *Span
-			decom []bool // model: page i decommitted
+		for name, be := range fuzzBackends(t) {
+			driveBackend(t, name, be, data)
 		}
-		var live []*span
-		var wantReserved, wantCommitted int64
-		for i := 0; i+1 < len(data) && i < 400; i += 2 {
-			op, arg := data[i], data[i+1]
-			switch {
-			case op%4 == 0 || len(live) == 0: // reserve
-				size := (int(arg)%8 + 1) * PageSize
-				align := PageSize << (int(op>>4) % 4)
-				sp := s.Reserve(size, align, i)
-				if sp.Base%uint64(align) != 0 {
-					t.Fatalf("misaligned reserve %#x align %d", sp.Base, align)
+	})
+}
+
+func driveBackend(t *testing.T, name string, s Backend, data []byte) {
+	type span struct {
+		sp    *Span
+		decom []bool // model: page i decommitted
+	}
+	var live []*span
+	var wantReserved, wantCommitted int64
+	for i := 0; i+1 < len(data) && i < 400; i += 2 {
+		op, arg := data[i], data[i+1]
+		switch {
+		case op%4 == 0 || len(live) == 0: // reserve
+			size := (int(arg)%8 + 1) * PageSize
+			align := PageSize << (int(op>>4) % 4)
+			sp := s.Reserve(size, align, i)
+			if sp.Base%uint64(align) != 0 {
+				t.Fatalf("%s: misaligned reserve %#x align %d", name, sp.Base, align)
+			}
+			if got := s.Lookup(sp.Base + uint64(sp.Len) - 1); got != sp {
+				t.Fatalf("%s: last byte lookup failed", name)
+			}
+			live = append(live, &span{sp: sp, decom: make([]bool, size/PageSize)})
+			wantReserved += int64(sp.Len)
+			wantCommitted += int64(sp.Len)
+		case op%4 == 1: // release
+			idx := int(arg) % len(live)
+			r := live[idx]
+			base := r.sp.Base
+			wantReserved -= int64(r.sp.Len)
+			for _, d := range r.decom {
+				if !d {
+					wantCommitted -= PageSize
 				}
-				if got := s.Lookup(sp.Base + uint64(sp.Len) - 1); got != sp {
-					t.Fatal("last byte lookup failed")
-				}
-				live = append(live, &span{sp: sp, decom: make([]bool, size/PageSize)})
-				wantReserved += int64(sp.Len)
-				wantCommitted += int64(sp.Len)
-			case op%4 == 1: // release
-				idx := int(arg) % len(live)
-				r := live[idx]
-				base := r.sp.Base
-				wantReserved -= int64(r.sp.Len)
-				for _, d := range r.decom {
-					if !d {
+			}
+			s.Release(r.sp)
+			if s.Lookup(base) != nil {
+				t.Fatalf("%s: released span still visible", name)
+			}
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // decommit (op%4==2) or recommit (op%4==3)
+			r := live[int(op>>4)%len(live)]
+			pages := len(r.decom)
+			p0 := int(arg) % pages
+			n := int(arg>>4)%(pages-p0) + 1
+			if op%4 == 2 {
+				r.sp.Decommit(p0*PageSize, n*PageSize)
+				for p := p0; p < p0+n; p++ {
+					if !r.decom[p] {
+						r.decom[p] = true
 						wantCommitted -= PageSize
 					}
 				}
-				s.Release(r.sp)
-				if s.Lookup(base) != nil {
-					t.Fatal("released span still visible")
-				}
-				live[idx] = live[len(live)-1]
-				live = live[:len(live)-1]
-			default: // decommit (op%4==2) or recommit (op%4==3)
-				r := live[int(op>>4)%len(live)]
-				pages := len(r.decom)
-				p0 := int(arg) % pages
-				n := int(arg>>4)%(pages-p0) + 1
-				if op%4 == 2 {
-					r.sp.Decommit(p0*PageSize, n*PageSize)
-					for p := p0; p < p0+n; p++ {
-						if !r.decom[p] {
-							r.decom[p] = true
-							wantCommitted -= PageSize
+				// The decommitted address must never be handed out...
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatalf("%s: Bytes on decommitted page did not panic", name)
 						}
-					}
-					// The decommitted address must never be handed out...
-					func() {
-						defer func() {
-							if recover() == nil {
-								t.Fatal("Bytes on decommitted page did not panic")
-							}
-						}()
-						s.Bytes(r.sp.Base+uint64(p0*PageSize), 4)
 					}()
-					// ...but the address itself stays reserved.
-					if s.Lookup(r.sp.Base+uint64(p0*PageSize)) != r.sp {
-						t.Fatal("decommitted address no longer resolves")
-					}
-				} else {
-					r.sp.Recommit(p0*PageSize, n*PageSize)
-					for p := p0; p < p0+n; p++ {
-						if r.decom[p] {
-							r.decom[p] = false
-							wantCommitted += PageSize
-						}
-					}
-					// Recommitted memory is accessible and zeroed.
-					if b := s.Bytes(r.sp.Base+uint64(p0*PageSize), 4); b[0]|b[1]|b[2]|b[3] != 0 {
-						t.Fatal("recommitted page not zeroed")
+					s.Bytes(r.sp.Base+uint64(p0*PageSize), 4)
+				}()
+				// ...but the address itself stays reserved.
+				if s.Lookup(r.sp.Base+uint64(p0*PageSize)) != r.sp {
+					t.Fatalf("%s: decommitted address no longer resolves", name)
+				}
+			} else {
+				r.sp.Recommit(p0*PageSize, n*PageSize)
+				for p := p0; p < p0+n; p++ {
+					if r.decom[p] {
+						r.decom[p] = false
+						wantCommitted += PageSize
 					}
 				}
-			}
-			st := s.Stats()
-			if st.Committed != wantCommitted {
-				t.Fatalf("committed %d, want %d", st.Committed, wantCommitted)
-			}
-			if st.Reserved != wantReserved {
-				t.Fatalf("reserved %d, want %d", st.Reserved, wantReserved)
-			}
-			if st.Reserved < st.Committed {
-				t.Fatalf("invariant violated: reserved %d < committed %d", st.Reserved, st.Committed)
-			}
-			if st.DecommittedBytes != wantReserved-wantCommitted {
-				t.Fatalf("decommitted %d, want %d", st.DecommittedBytes, wantReserved-wantCommitted)
+				// Recommitted memory is accessible and zeroed — the OS
+				// zero-fill guarantee on the arena, the simulated
+				// equivalent on sim.
+				if b := s.Bytes(r.sp.Base+uint64(p0*PageSize), 4); b[0]|b[1]|b[2]|b[3] != 0 {
+					t.Fatalf("%s: recommitted page not zeroed", name)
+				}
 			}
 		}
-	})
+		st := s.Stats()
+		if st.Committed != wantCommitted {
+			t.Fatalf("%s: committed %d, want %d", name, st.Committed, wantCommitted)
+		}
+		if st.Reserved != wantReserved {
+			t.Fatalf("%s: reserved %d, want %d", name, st.Reserved, wantReserved)
+		}
+		if st.Reserved < st.Committed {
+			t.Fatalf("%s: invariant violated: reserved %d < committed %d", name, st.Reserved, st.Committed)
+		}
+		if st.DecommittedBytes != wantReserved-wantCommitted {
+			t.Fatalf("%s: decommitted %d, want %d", name, st.DecommittedBytes, wantReserved-wantCommitted)
+		}
+	}
 }

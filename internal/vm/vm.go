@@ -1,15 +1,22 @@
-// Package vm provides a simulated operating-system memory interface.
+// Package vm provides the operating-system memory interface the allocators
+// run on, behind the Backend abstraction.
 //
-// Go's runtime owns real allocation, so this reproduction of Hoard manages
-// an explicit, simulated 48-bit address space instead of interposing on
-// malloc. Allocators reserve page-aligned spans (the moral equivalent of
-// mmap/sbrk), hand out addresses inside them, and look spans back up from
-// raw addresses on free — exactly the page-map technique production
-// allocators use. Every span is backed by a real Go byte slab, so the memory
-// handed out is genuinely readable and writable and blocks that share a
-// simulated cache line also share physical memory.
+// The default implementation is a simulated OS: Go's runtime owns real
+// allocation, so this reproduction of Hoard manages an explicit, simulated
+// 48-bit address space instead of interposing on malloc. Allocators reserve
+// page-aligned spans (the moral equivalent of mmap/sbrk), hand out addresses
+// inside them, and look spans back up from raw addresses on free — exactly
+// the page-map technique production allocators use. Every span is backed by
+// a real Go byte slab, so the memory handed out is genuinely readable and
+// writable and blocks that share a simulated cache line also share physical
+// memory.
 //
-// The Space distinguishes reserved bytes (address space handed to the
+// The second implementation (arena.go, Linux only) swaps the simulated
+// space for one large mmap'd virtual reservation: span addresses become real
+// virtual addresses, resolution becomes address arithmetic, and decommit
+// becomes a real madvise(MADV_DONTNEED). See Backend.
+//
+// Every backend distinguishes reserved bytes (address space handed to the
 // allocator) from committed bytes (pages currently backed), each with its
 // own high-water mark. Reserve commits the whole span; Span.Decommit drops
 // the backing of a page range madvise(DONTNEED)-style while keeping the
@@ -49,6 +56,8 @@ const (
 
 // Poison patterns written over span memory in debug (poison) mode, chosen to
 // be distinct so a crash dump says which lifecycle edge produced the bytes.
+// Only the simulated backend poisons; the arena relies on the OS's
+// zero-fill guarantee instead.
 const (
 	// PoisonReleased marks memory of a released span awaiting reuse.
 	PoisonReleased = 0xDB
@@ -60,10 +69,11 @@ const (
 	PoisonRecommitted = 0xDC
 )
 
-// Span is a contiguous page-aligned region of the simulated address space,
-// obtained from a Space and backed by real memory.
+// Span is a contiguous page-aligned region of a backend's address space,
+// backed by real memory.
 type Span struct {
-	// Base is the first simulated address of the span.
+	// Base is the first address of the span (simulated for the sim
+	// backend, a real virtual address for the arena).
 	Base uint64
 	// Len is the usable length in bytes (a multiple of the page size).
 	Len int
@@ -73,12 +83,12 @@ type Span struct {
 	// the span is live.
 	Owner any
 
-	data  []byte
-	space *Space
+	data []byte
+	host spanHost
 
 	// decomPages is a bitmap of decommitted pages (bit i set = page i has
 	// no backing), allocated lazily on first Decommit and guarded by the
-	// space's mutex. decomBytes caches the decommitted byte total so the
+	// host's mutex. decomBytes caches the decommitted byte total so the
 	// hot Bytes path can skip the bitmap with one atomic load.
 	decomPages []uint64
 	decomBytes atomic.Int64
@@ -95,11 +105,12 @@ func (sp *Span) Bytes(off, n int) []byte {
 }
 
 // checkCommitted panics if [off, off+n) overlaps a decommitted page. It
-// takes the space's mutex: this path is only reached on spans that currently
+// takes the host's mutex: this path is only reached on spans that currently
 // have decommitted pages, which legitimate code never touches.
 func (sp *Span) checkCommitted(off, n int) {
-	sp.space.mu.Lock()
-	defer sp.space.mu.Unlock()
+	mu := sp.host.spanMu()
+	mu.Lock()
+	defer mu.Unlock()
 	if sp.decomPages == nil {
 		return
 	}
@@ -126,82 +137,97 @@ func (sp *Span) End() uint64 { return sp.Base + uint64(sp.Len) }
 // decommitted.
 func (sp *Span) DecommittedBytes() int64 { return sp.decomBytes.Load() }
 
-// Decommit drops the backing of the page-aligned range [off, off+n),
-// simulating madvise(MADV_DONTNEED): the addresses stay reserved and Lookup
+// Decommit drops the backing of the page-aligned range [off, off+n), in the
+// style of madvise(MADV_DONTNEED): the addresses stay reserved and Lookup
 // still resolves them, but the pages stop counting as committed and any
-// access through Bytes panics until Recommit. The dropped memory is zeroed
-// (poisoned in poison mode) so its previous contents — e.g. a superblock's
-// free-list links — are genuinely gone. Already-decommitted pages are
-// skipped. It panics if the range is not page-aligned or escapes the span.
+// access through Bytes panics until Recommit. On the simulated backend the
+// dropped memory is zeroed (poisoned in poison mode); on the arena it is a
+// real madvise and the OS reclaims the pages. Either way the previous
+// contents — e.g. a superblock's free-list links — are genuinely gone.
+// Already-decommitted pages are skipped. It panics if the range is not
+// page-aligned or escapes the span.
 func (sp *Span) Decommit(off, n int) {
 	sp.pageRange("Decommit", off, n)
-	s := sp.space
-	s.mu.Lock()
+	h := sp.host
+	mu := h.spanMu()
+	mu.Lock()
 	if sp.decomPages == nil {
 		sp.decomPages = make([]uint64, (sp.Len>>PageShift+63)/64)
 	}
-	fill := byte(0)
-	if s.poisons {
-		fill = PoisonDecommitted
-	}
 	dropped := 0
+	runOff, runLen := 0, 0
 	for pg := off >> PageShift; pg < (off+n)>>PageShift; pg++ {
 		w, b := pg/64, uint64(1)<<(pg%64)
 		if sp.decomPages[w]&b != 0 {
+			if runLen > 0 {
+				h.dropPages(sp, runOff, runLen)
+				runLen = 0
+			}
 			continue
 		}
 		sp.decomPages[w] |= b
-		base := pg << PageShift
-		for i := base; i < base+PageSize; i++ {
-			sp.data[i] = fill
+		if runLen == 0 {
+			runOff = pg << PageShift
 		}
+		runLen += PageSize
 		dropped += PageSize
 	}
+	if runLen > 0 {
+		h.dropPages(sp, runOff, runLen)
+	}
+	c := h.counts()
 	if dropped > 0 {
 		sp.decomBytes.Add(int64(dropped))
-		s.committed.Add(int64(-dropped))
-		s.decommitted.Add(int64(dropped))
+		c.committed.Add(int64(-dropped))
+		c.decommitted.Add(int64(dropped))
 	}
-	s.decommits.Add(1)
-	s.mu.Unlock()
+	c.decommits.Add(1)
+	mu.Unlock()
 }
 
 // Recommit restores backing for the page-aligned range [off, off+n),
-// re-counting the pages as committed. A real OS hands back zero pages; in
-// poison mode the pages are filled with PoisonRecommitted instead, to flush
-// out code that assumes data survived the decommit. Pages that are already
+// re-counting the pages as committed. A real OS hands back zero pages — the
+// arena backend does exactly that on the next touch; the simulated backend
+// zero-fills, or fills with PoisonRecommitted in poison mode to flush out
+// code that assumes data survived the decommit. Pages that are already
 // committed are skipped. It panics if the range is not page-aligned or
 // escapes the span.
 func (sp *Span) Recommit(off, n int) {
 	sp.pageRange("Recommit", off, n)
-	s := sp.space
-	s.mu.Lock()
+	h := sp.host
+	mu := h.spanMu()
+	mu.Lock()
 	restored := 0
 	if sp.decomPages != nil {
-		fill := byte(0)
-		if s.poisons {
-			fill = PoisonRecommitted
-		}
+		runOff, runLen := 0, 0
 		for pg := off >> PageShift; pg < (off+n)>>PageShift; pg++ {
 			w, b := pg/64, uint64(1)<<(pg%64)
 			if sp.decomPages[w]&b == 0 {
+				if runLen > 0 {
+					h.backPages(sp, runOff, runLen)
+					runLen = 0
+				}
 				continue
 			}
 			sp.decomPages[w] &^= b
-			base := pg << PageShift
-			for i := base; i < base+PageSize; i++ {
-				sp.data[i] = fill
+			if runLen == 0 {
+				runOff = pg << PageShift
 			}
+			runLen += PageSize
 			restored += PageSize
 		}
+		if runLen > 0 {
+			h.backPages(sp, runOff, runLen)
+		}
 	}
+	c := h.counts()
 	if restored > 0 {
 		sp.decomBytes.Add(int64(-restored))
-		s.decommitted.Add(int64(-restored))
-		s.addCommitted(int64(restored))
+		c.decommitted.Add(int64(-restored))
+		c.addCommitted(int64(restored))
 	}
-	s.recommits.Add(1)
-	s.mu.Unlock()
+	c.recommits.Add(1)
+	mu.Unlock()
 }
 
 func (sp *Span) pageRange(op string, off, n int) {
@@ -213,7 +239,7 @@ func (sp *Span) pageRange(op string, off, n int) {
 	}
 }
 
-// Stats is a snapshot of a Space's accounting.
+// Stats is a snapshot of a backend's accounting.
 type Stats struct {
 	// Reserved is the number of address-space bytes currently handed out
 	// (live spans, committed or not); PeakReserved is its high-water mark.
@@ -235,35 +261,32 @@ type Stats struct {
 	Decommits, Recommits int64
 }
 
-// Space is a simulated OS address space. All methods are safe for concurrent
-// use; Lookup and Bytes are lock-free (Bytes takes the lock only for spans
-// that currently have decommitted pages).
+// Space is the simulated OS address space, the default Backend. All methods
+// are safe for concurrent use; Lookup and Bytes are lock-free (Bytes takes
+// the lock only for spans that currently have decommitted pages).
 type Space struct {
+	counters
+
 	mu      sync.Mutex
 	next    uint64
 	pool    map[int][]*Span // released spans by length, for reuse
 	poisons bool
-
-	reserved     atomic.Int64
-	peakReserved atomic.Int64
-	committed    atomic.Int64
-	peak         atomic.Int64
-	decommitted  atomic.Int64
-	reserves     atomic.Int64
-	releases     atomic.Int64
-	recycled     atomic.Int64
-	decommits    atomic.Int64
-	recommits    atomic.Int64
 
 	l1 [l1Size]atomic.Pointer[l2node]
 }
 
 type l2node [l2Size]atomic.Pointer[Span]
 
-// New returns an empty Space.
+// New returns an empty simulated Space.
 func New() *Space {
 	return &Space{next: baseAddr, pool: make(map[int][]*Span)}
 }
+
+// Name identifies the simulated backend.
+func (s *Space) Name() string { return "sim" }
+
+// Close is a no-op: the simulated space is ordinary Go memory.
+func (s *Space) Close() error { return nil }
 
 // SetPoison controls whether span memory is overwritten with poison patterns
 // on release, decommit, and recommit, to flush out use-after-free and
@@ -280,6 +303,33 @@ func (s *Space) SetPoison(on bool) {
 // attached before the span is published. Reserve panics if size is not
 // positive or align is invalid.
 func (s *Space) Reserve(size, align int, owner any) *Span {
+	size, align = checkReserve(size, align)
+
+	s.mu.Lock()
+	sp := s.takeFromPoolLocked(size, align)
+	if sp == nil {
+		base := (s.next + uint64(align) - 1) &^ (uint64(align) - 1)
+		if base+uint64(size) > maxAddr {
+			s.mu.Unlock()
+			panic("vm: simulated address space exhausted")
+		}
+		s.next = base + uint64(size)
+		sp = &Span{Base: base, Len: size, data: make([]byte, size), host: s}
+	}
+	sp.Owner = owner
+	s.publishLocked(sp)
+	s.mu.Unlock()
+
+	s.reserves.Add(1)
+	s.addReserved(int64(size))
+	s.addCommitted(int64(size))
+	return sp
+}
+
+// checkReserve validates and normalizes a Reserve request, shared by every
+// backend: size is rounded up to whole pages and align defaults to page
+// alignment.
+func checkReserve(size, align int) (int, int) {
 	if size <= 0 {
 		panic(fmt.Sprintf("vm: Reserve size %d", size))
 	}
@@ -292,44 +342,7 @@ func (s *Space) Reserve(size, align int, owner any) *Span {
 	if align < PageSize {
 		align = PageSize
 	}
-	size = (size + PageSize - 1) &^ (PageSize - 1)
-
-	s.mu.Lock()
-	sp := s.takeFromPoolLocked(size, align)
-	if sp == nil {
-		base := (s.next + uint64(align) - 1) &^ (uint64(align) - 1)
-		if base+uint64(size) > maxAddr {
-			s.mu.Unlock()
-			panic("vm: simulated address space exhausted")
-		}
-		s.next = base + uint64(size)
-		sp = &Span{Base: base, Len: size, data: make([]byte, size), space: s}
-	}
-	sp.Owner = owner
-	s.publishLocked(sp)
-	s.mu.Unlock()
-
-	s.reserves.Add(1)
-	r := s.reserved.Add(int64(size))
-	for {
-		p := s.peakReserved.Load()
-		if r <= p || s.peakReserved.CompareAndSwap(p, r) {
-			break
-		}
-	}
-	s.addCommitted(int64(size))
-	return sp
-}
-
-// addCommitted adds delta committed bytes and maintains the high-water mark.
-func (s *Space) addCommitted(delta int64) {
-	c := s.committed.Add(delta)
-	for {
-		p := s.peak.Load()
-		if c <= p || s.peak.CompareAndSwap(p, c) {
-			break
-		}
-	}
+	return (size + PageSize - 1) &^ (PageSize - 1), align
 }
 
 // takeFromPoolLocked pops a recycled span of exactly the given size whose
@@ -359,16 +372,7 @@ func (s *Space) Release(sp *Span) {
 	s.mu.Lock()
 	s.unpublishLocked(sp)
 	sp.Owner = nil
-	backed := int64(sp.Len) - sp.decomBytes.Load()
-	if decom := sp.decomBytes.Load(); decom != 0 {
-		// Reset decommit state so the pooled span comes back fully
-		// committed from its next Reserve.
-		s.decommitted.Add(-decom)
-		sp.decomBytes.Store(0)
-		for i := range sp.decomPages {
-			sp.decomPages[i] = 0
-		}
-	}
+	backed := int64(sp.Len) - resetDecommitState(sp, &s.counters)
 	if s.poisons {
 		for i := range sp.data {
 			sp.data[i] = PoisonReleased
@@ -380,6 +384,21 @@ func (s *Space) Release(sp *Span) {
 	s.releases.Add(1)
 	s.reserved.Add(int64(-sp.Len))
 	s.committed.Add(-backed)
+}
+
+// resetDecommitState clears a span's decommit bitmap and accounting so the
+// pooled span comes back fully committed from its next Reserve, returning
+// the byte total that was decommitted. Called with the host's mutex held.
+func resetDecommitState(sp *Span, c *counters) int64 {
+	decom := sp.decomBytes.Load()
+	if decom != 0 {
+		c.decommitted.Add(-decom)
+		sp.decomBytes.Store(0)
+		for i := range sp.decomPages {
+			sp.decomPages[i] = 0
+		}
+	}
+	return decom
 }
 
 func (s *Space) publishLocked(sp *Span) {
@@ -435,7 +454,12 @@ func (s *Space) Lookup(addr uint64) *Span {
 // a decommitted page, which always indicates an allocator bug or a
 // use-after-free.
 func (s *Space) Bytes(addr uint64, n int) []byte {
-	sp := s.Lookup(addr)
+	return backendBytes(s, addr, n)
+}
+
+// backendBytes implements Backend.Bytes over any Lookup.
+func backendBytes(b Backend, addr uint64, n int) []byte {
+	sp := b.Lookup(addr)
 	if sp == nil {
 		panic(fmt.Sprintf("vm: Bytes(%#x, %d): no span at address", addr, n))
 	}
@@ -446,41 +470,31 @@ func (s *Space) Bytes(addr uint64, n int) []byte {
 	return sp.Bytes(off, n)
 }
 
-// Stats returns a snapshot of the space's accounting.
-func (s *Space) Stats() Stats {
-	return Stats{
-		Reserved:         s.reserved.Load(),
-		PeakReserved:     s.peakReserved.Load(),
-		Committed:        s.committed.Load(),
-		PeakCommitted:    s.peak.Load(),
-		DecommittedBytes: s.decommitted.Load(),
-		Reserves:         s.reserves.Load(),
-		Releases:         s.releases.Load(),
-		Recycled:         s.recycled.Load(),
-		Decommits:        s.decommits.Load(),
-		Recommits:        s.recommits.Load(),
+// spanHost hooks: the simulated space "drops" pages by erasing their
+// contents (zero, or poison in poison mode) and "backs" them the same way,
+// so data genuinely does not survive a decommit/recommit cycle.
+
+func (s *Space) spanMu() *sync.Mutex { return &s.mu }
+func (s *Space) counts() *counters   { return &s.counters }
+
+func (s *Space) dropPages(sp *Span, off, n int) {
+	fill := byte(0)
+	if s.poisons {
+		fill = PoisonDecommitted
 	}
+	fillBytes(sp.data[off:off+n], fill)
 }
 
-// Reserved returns the number of address-space bytes currently reserved.
-func (s *Space) Reserved() int64 { return s.reserved.Load() }
+func (s *Space) backPages(sp *Span, off, n int) {
+	fill := byte(0)
+	if s.poisons {
+		fill = PoisonRecommitted
+	}
+	fillBytes(sp.data[off:off+n], fill)
+}
 
-// PeakReserved returns the high-water mark of reserved bytes.
-func (s *Space) PeakReserved() int64 { return s.peakReserved.Load() }
-
-// Committed returns the number of bytes currently committed.
-func (s *Space) Committed() int64 { return s.committed.Load() }
-
-// PeakCommitted returns the high-water mark of committed bytes.
-func (s *Space) PeakCommitted() int64 { return s.peak.Load() }
-
-// DecommittedBytes returns the reserved-but-unbacked byte total.
-func (s *Space) DecommittedBytes() int64 { return s.decommitted.Load() }
-
-// ResetPeak lowers the peak-committed and peak-reserved marks to the current
-// values, so an experiment can measure its own high-water marks in a reused
-// space.
-func (s *Space) ResetPeak() {
-	s.peak.Store(s.committed.Load())
-	s.peakReserved.Store(s.reserved.Load())
+func fillBytes(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
 }
