@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench metrics-smoke footprint-smoke lockfree-smoke arena-smoke
+.PHONY: check build test race vet bench metrics-smoke footprint-smoke lockfree-smoke arena-smoke load-smoke
 
 # check is the tier-1 gate: vet, build, and the full suite under the race
 # detector.
@@ -70,3 +70,14 @@ arena-smoke:
 	HOARDGO_BACKEND=arena $(GO) test -race ./internal/vm/ ./internal/superblock/ ./internal/heap/ ./internal/core/
 	$(GO) test -race -run 'TestArena|TestBackend|TestPublicBackend|TestPublicClose|TestMeasureResolve|TestMeasureArena' \
 		. ./internal/vm/ ./internal/core/ ./internal/experiments/
+
+# load-smoke exercises the traffic-shaped serving benchmark end to end: a
+# deterministic-seed hoardload run on both backends enforces the tail-latency
+# SLOs (malloc/request p999), the drained-footprint threshold, and the sweep
+# sanity gates, writing its artifact; then the load engine, webserver
+# lifecycle, and wall-clock pacing tests run under the race detector.
+load-smoke:
+	$(GO) run ./cmd/hoardload -smoke -artifact /tmp/hoardgo-load.json
+	$(GO) test -race ./internal/loadgen/
+	$(GO) test -race -run 'TestWebserverLifecycle|TestThreadClose' .
+	$(GO) test -race -run 'TestPacerWallClock|TestScavengerWallClock' ./internal/scavenge/

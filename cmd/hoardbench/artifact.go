@@ -1,63 +1,20 @@
 package main
 
 import (
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"strings"
 	"time"
 
 	"hoardgo/internal/experiments"
 )
 
-// provenance stamps every committed artifact with what produced it: the git
-// revision of the tree and a fingerprint of the run configuration, so a
-// BENCH_*.json can be matched to the exact code and parameters that generated
-// it (and a regeneration under different settings is detectable from the
-// file alone).
-type provenance struct {
-	GitRevision       string `json:"git_revision"`
-	ConfigFingerprint string `json:"config_fingerprint"`
-}
-
-// gitRevision returns the current HEAD commit hash, with "-dirty" appended
-// when the working tree has uncommitted changes, or "unknown" outside a git
-// checkout.
-func gitRevision() string {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	rev := strings.TrimSpace(string(out))
-	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
-		len(strings.TrimSpace(string(status))) > 0 {
-		rev += "-dirty"
-	}
-	return rev
-}
-
-// configFingerprint hashes the canonical run parameters. The input is a
-// plain joined string rather than marshalled structs so the fingerprint only
-// changes when a parameter that matters changes.
-func configFingerprint(schema, scale string, opts experiments.Options) string {
-	parts := []string{
-		schema,
-		scale,
-		fmt.Sprintf("procs=%v", opts.Procs),
-		fmt.Sprintf("allocs=%v", opts.Allocs),
-		fmt.Sprintf("cost=%+v", opts.Cost),
-	}
-	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
-	return fmt.Sprintf("%x", sum[:])
-}
-
-func stamp(schema, scale string, opts experiments.Options) provenance {
-	return provenance{
-		GitRevision:       gitRevision(),
-		ConfigFingerprint: configFingerprint(schema, scale, opts),
-	}
+// stamp builds the provenance record for a simulator-options artifact
+// through the shared experiments.Stamp helper (one implementation for every
+// BENCH_*.json writer — see internal/experiments/provenance.go).
+func stamp(schema, scale string, opts experiments.Options) experiments.Provenance {
+	return experiments.Stamp(schema, scale, opts.FingerprintParts()...)
 }
 
 // artifact is the committed benchmark record (BENCH_PR3.json): the
@@ -67,7 +24,7 @@ func stamp(schema, scale string, opts experiments.Options) provenance {
 type artifact struct {
 	Schema     string                      `json:"schema"`
 	Scale      string                      `json:"scale"`
-	Provenance provenance                  `json:"provenance"`
+	Provenance experiments.Provenance      `json:"provenance"`
 	BatchLocks experiments.BatchLockResult `json:"batch_locks"`
 	Sim        []experiments.BatchSimEntry `json:"sim"`
 }
@@ -109,7 +66,7 @@ func writeArtifact(path string, opts experiments.Options, scale string, progress
 type footprintArtifact struct {
 	Schema     string                       `json:"schema"`
 	Scale      string                       `json:"scale"`
-	Provenance provenance                   `json:"provenance"`
+	Provenance experiments.Provenance       `json:"provenance"`
 	Entries    []experiments.FootprintEntry `json:"entries"`
 	// SteadyRatios maps "workload/mode" to that mode's steady-state
 	// committed bytes over the retain-everything baseline (< 1 means the
@@ -172,7 +129,7 @@ func writeFootprint(path string, opts experiments.Options, scale string, progres
 type lockfreeArtifact struct {
 	Schema     string                           `json:"schema"`
 	Scale      string                           `json:"scale"`
-	Provenance provenance                       `json:"provenance"`
+	Provenance experiments.Provenance           `json:"provenance"`
 	Locks      []experiments.LockFreeLockResult `json:"locks"`
 	// Improvement maps workload name to locked-arm locks/op over fast-arm
 	// locks/op at P=8 (the acceptance criterion reads these directly).
@@ -298,7 +255,7 @@ func writeMetricsTimeline(path string, scale experiments.Scale) error {
 type arenaArtifact struct {
 	Schema     string                             `json:"schema"`
 	Scale      string                             `json:"scale"`
-	Provenance provenance                         `json:"provenance"`
+	Provenance experiments.Provenance             `json:"provenance"`
 	Resolve    experiments.ResolveResult          `json:"resolve"`
 	Throughput []experiments.ArenaThroughputEntry `json:"throughput"`
 	RSS        []experiments.ArenaRSSEntry        `json:"rss"`

@@ -4,12 +4,22 @@
 // builds responses (more allocations), and frees everything — so nearly all
 // frees are cross-thread, the pattern that melts naive multithreaded
 // allocators. Run it with -policy serial or -policy private to compare.
+//
+// The lifecycle here is the reference for real servers: every worker closes
+// its Thread on exit (flushing any magazine-cached blocks back to the
+// heaps), and the allocator itself is closed at the end (stopping the
+// scavenger and unmapping the arena reservation when -backend arena).
+// With -metrics ADDR the allocator's Prometheus endpoint is served live,
+// so the run can be scraped while it works; cmd/hoardload drives this same
+// serving pipeline under shaped traffic with latency SLOs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
+	"net/http"
 	"sync"
 	"time"
 
@@ -23,11 +33,34 @@ type request struct {
 
 func main() {
 	policy := flag.String("policy", "hoard", "allocator policy: hoard serial private ownership threshold")
+	backend := flag.String("backend", "", "memory substrate: sim or arena (hoard policy only; empty = HOARDGO_BACKEND or sim)")
 	workers := flag.Int("workers", 4, "worker goroutines")
 	requests := flag.Int("requests", 50000, "total requests")
+	tcache := flag.Int("tcache", 0, "per-thread magazine capacity (0 = no thread cache)")
+	metricsAddr := flag.String("metrics", "", "serve the allocator's /metrics endpoint on this address while running")
 	flag.Parse()
 
-	a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(*policy), Procs: *workers})
+	a := hoard.MustNew(hoard.Config{
+		Policy:              hoard.Policy(*policy),
+		Backend:             *backend,
+		Procs:               *workers,
+		ThreadCacheCapacity: *tcache,
+	})
+	// Close is the only way an arena reservation is unmapped; it also stops
+	// the background goroutines. Every exit path must run it.
+	defer func() {
+		if err := a.Close(); err != nil {
+			panic(err)
+		}
+	}()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", a.MetricsHandler())
+		go func() { log.Fatal(http.ListenAndServe(*metricsAddr, mux)) }()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
 	queue := make(chan request, 256)
 	var wg sync.WaitGroup
 
@@ -37,6 +70,10 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			t := a.NewThread()
+			// The lifecycle fix: a worker that exits without Close strands
+			// its magazine blocks — invisible to the emptiness invariant,
+			// never scavenged.
+			defer t.Close()
 			rng := rand.New(rand.NewSource(int64(w)))
 			for req := range queue {
 				// "Parse": read the request buffer.
@@ -72,19 +109,23 @@ func main() {
 	}
 	close(queue)
 	wg.Wait()
+	listener.Close()
 	elapsed := time.Since(start)
 
 	st := a.Stats()
-	fmt.Printf("policy      %s\n", *policy)
+	fmt.Printf("policy      %s (backend %s)\n", *policy, a.Backend())
 	fmt.Printf("requests    %d via %d workers in %v (%.0f req/s)\n",
 		*requests, *workers, elapsed.Round(time.Millisecond),
 		float64(*requests)/elapsed.Seconds())
 	fmt.Printf("allocator   %d mallocs, %d frees, %d remote frees\n",
 		st.Mallocs, st.Frees, st.RemoteFrees)
-	fmt.Printf("memory      %d B live, peak footprint %d KiB\n",
-		st.LiveBytes, st.PeakFootprintBytes/1024)
+	fmt.Printf("memory      %d B live, %d B cached, peak footprint %d KiB\n",
+		st.LiveBytes, a.CachedBytes(), st.PeakFootprintBytes/1024)
 	if st.LiveBytes != 0 {
 		panic("leak: live bytes after all requests completed")
+	}
+	if c := a.CachedBytes(); c != 0 {
+		panic(fmt.Sprintf("leak: %d bytes stranded in thread magazines after drain", c))
 	}
 	if err := a.CheckIntegrity(); err != nil {
 		panic(err)

@@ -271,6 +271,18 @@ func (a *Allocator) NewThread() *Thread {
 // ID returns the thread's registration index.
 func (t *Thread) ID() int { return t.inner.ID }
 
+// Close retires the thread: blocks cached on its behalf by layered
+// allocators return to the underlying heaps (thread-cache magazines are
+// batch-freed, debug-quarantined frees complete) and the thread is
+// deregistered. It is what a thread-exit hook does in a C allocator — a
+// worker goroutine should Close its Thread before exiting, or its magazine
+// blocks stay stranded: invisible to the emptiness invariant, never
+// scavenged, counted by CachedBytes forever. The handle remains usable
+// afterwards (stray late operations bypass the caches), so Close is safe to
+// call before the last cross-thread free of this thread's blocks has
+// happened. For stacks with no per-thread caching layer Close is a no-op.
+func (t *Thread) Close() { alloc.FlushThread(t.a.impl, t.inner) }
+
 // Malloc returns a block of at least size bytes. Malloc(0) returns a valid
 // minimal block.
 func (t *Thread) Malloc(size int) Ptr { return t.a.impl.Malloc(t.inner, size) }
@@ -433,6 +445,30 @@ func (a *Allocator) Stats() Stats {
 		FastPathRetries:    st.FastPathRetries,
 		BackendFallbacks:   st.BackendFallbacks,
 	}
+}
+
+// CachedBytes reports the bytes currently stranded in per-thread magazines
+// when the allocator was built with ThreadCacheCapacity, and 0 otherwise.
+// It requires quiescence for an exact answer. A drained workload whose
+// workers all called Thread.Close reports 0 — the lifecycle regression
+// tests and the load engine assert exactly that.
+func (a *Allocator) CachedBytes() int64 {
+	if tc := a.tcacheLayer(); tc != nil {
+		return tc.CachedBytes()
+	}
+	return 0
+}
+
+// MagazineBytes is the under-load view of the same gauge: a sum of
+// magazine-fill counters published at transfer boundaries, safe to read
+// while worker threads allocate (CachedBytes is exact but requires
+// quiescence). It lags true fill by at most half a magazine per size class
+// per thread. Samplers and metrics scrapes use this form.
+func (a *Allocator) MagazineBytes() int64 {
+	if tc := a.tcacheLayer(); tc != nil {
+		return tc.MagazineBytes()
+	}
+	return 0
 }
 
 // Backend returns the name of the memory substrate in use: "sim" or

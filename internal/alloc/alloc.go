@@ -107,6 +107,26 @@ type BatchAllocator interface {
 	FreeBatch(t *Thread, ps []Ptr)
 }
 
+// ThreadFlusher is optionally implemented by layered allocators that strand
+// per-thread state (tcache magazines, the debug quarantine). FlushThread
+// returns every block the layer holds on t's behalf to the inner allocator
+// and deregisters the thread — the thread-exit hook of a C allocator. The
+// handle must remain usable afterwards (late stray operations bypass the
+// caches); a flushed thread simply stops stranding memory. The package-level
+// FlushThread helper dispatches to the implementation when present.
+type ThreadFlusher interface {
+	FlushThread(t *Thread)
+}
+
+// FlushThread flushes t's layer-held state when a implements ThreadFlusher
+// and is a no-op otherwise, so callers can retire threads against any
+// allocator stack.
+func FlushThread(a Allocator, t *Thread) {
+	if f, ok := a.(ThreadFlusher); ok {
+		f.FlushThread(t)
+	}
+}
+
 // MallocBatch allocates up to n blocks of at least size bytes each into
 // out[:n], using a's native batch path when it implements BatchAllocator and
 // per-block Mallocs otherwise. It returns the number of blocks obtained.

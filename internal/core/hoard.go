@@ -822,16 +822,18 @@ func (h *Hoard) CheckIntegrity() error {
 		u += hp.LiveU()
 		// The emptiness invariant is enforced at frees; mallocs may
 		// leave a heap transiently below it, but whenever it is
-		// violated an evictable superblock must exist — except in one
-		// benign state: every superblock completely full, yet below
-		// (1-f)*a in bytes because the class's block size does not
-		// divide S (capacity waste). The free path simply finds no
-		// victim there. The check reads the accounted u, so it only
+		// violated an evictable superblock must exist — unless the byte
+		// shortfall is pure capacity waste: eviction candidacy is a
+		// block fraction, so superblocks ≥ (1-f) full by blocks can sit
+		// below (1-f)*a in bytes when their class's block size does not
+		// divide S, and the free path correctly finds no victim there
+		// (see Heap.InvariantViolatedUsable, which re-checks with the
+		// waste discounted). The check reads the accounted u, so it only
 		// applies when the books are caught up with the live words —
 		// with drift outstanding, the accounted figure can sit below an
 		// invariant the hint path is already watching.
 		if hp.ID != 0 && hp.LiveU() == hp.U() && hp.InvariantViolated() &&
-			hp.FindEvictable(&env.RealEnv{}) == nil && !hp.AllFull() {
+			hp.FindEvictable(&env.RealEnv{}) == nil && hp.InvariantViolatedUsable() {
 			return fmt.Errorf("hoard: heap %d violates emptiness invariant with no evictable superblock (u=%d a=%d)",
 				hp.ID, hp.U(), hp.A())
 		}

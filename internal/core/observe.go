@@ -29,7 +29,7 @@ func (h *Hoard) Audit(e env.Env) error {
 		// accounted u lagging until the next reconciliation, and the hint
 		// path is already watching the live figure.
 		if err == nil && hp.ID != 0 && hp.LiveU() == hp.U() && hp.InvariantViolated() &&
-			hp.FindEvictable(e) == nil && !hp.AllFull() {
+			hp.FindEvictable(e) == nil && hp.InvariantViolatedUsable() {
 			err = fmt.Errorf("hoard: heap %d violates emptiness invariant with no evictable superblock (u=%d a=%d)",
 				hp.ID, hp.U(), hp.A())
 		}

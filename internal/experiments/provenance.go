@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os/exec"
+	"strings"
+)
+
+// Provenance stamps every committed benchmark artifact with what produced
+// it: the git revision of the tree and a fingerprint of the run
+// configuration, so a BENCH_*.json can be matched to the exact code and
+// parameters that generated it (and a regeneration under different settings
+// is detectable from the file alone). Every artifact writer — the
+// cmd/hoardbench BENCH_PR3/PR5/PR6/PR7 records and the cmd/hoardload
+// BENCH_PR9 record — stamps through this one implementation; the format
+// cannot drift between them.
+type Provenance struct {
+	GitRevision       string `json:"git_revision"`
+	ConfigFingerprint string `json:"config_fingerprint"`
+}
+
+// GitRevision returns the current HEAD commit hash, with "-dirty" appended
+// when the working tree has uncommitted changes, or "unknown" outside a git
+// checkout.
+func GitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Fingerprint hashes the canonical run parameters. The input is a plain
+// "|"-joined string rather than marshalled structs so the fingerprint only
+// changes when a parameter that matters changes (and parameter order is
+// part of the contract).
+func Fingerprint(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
+	return fmt.Sprintf("%x", sum[:])
+}
+
+// Stamp builds the provenance record for an artifact: schema and scale
+// always lead the fingerprint, followed by the writer's own canonical
+// parameter strings.
+func Stamp(schema, scale string, parts ...string) Provenance {
+	return Provenance{
+		GitRevision:       GitRevision(),
+		ConfigFingerprint: Fingerprint(append([]string{schema, scale}, parts...)...),
+	}
+}
+
+// FingerprintParts returns the simulator option fields that belong in an
+// artifact fingerprint, in the order the BENCH_PR3/PR5/PR6/PR7 writers have
+// always used.
+func (o Options) FingerprintParts() []string {
+	return []string{
+		fmt.Sprintf("procs=%v", o.Procs),
+		fmt.Sprintf("allocs=%v", o.Allocs),
+		fmt.Sprintf("cost=%+v", o.Cost),
+	}
+}

@@ -838,6 +838,33 @@ func (h *Heap) AllFull() bool {
 	return full
 }
 
+// CapacityWaste is the bytes of held superblocks unusable by construction:
+// the tail of each superblock left over when its class's block size does
+// not divide the superblock size. The caller must hold the heap lock.
+func (h *Heap) CapacityWaste() int64 {
+	var waste int64
+	h.forEach(func(sb *superblock.Superblock) error {
+		waste += int64(sb.Size() - sb.NBlocks()*sb.BlockSize())
+		return nil
+	})
+	return waste
+}
+
+// InvariantViolatedUsable re-evaluates the emptiness invariant with
+// capacity waste discounted from a — the invariant over bytes a free could
+// actually reclaim. The plain invariant (u, a against S per superblock) can
+// be violated with no evictable superblock: eviction candidacy is a *block*
+// fraction (AtLeastEmpty), so a superblock ≥ (1-f) full by blocks may still
+// sit below (1-f)·S in bytes purely from divisibility waste (AllFull is the
+// extreme point — e.g. two 2960-byte blocks filling 72% of 8 KiB). When
+// this discounted form holds, the byte shortfall is all waste and the state
+// is benign; when it is violated too, a free really did skip an eviction it
+// owed. The caller must hold the heap lock.
+func (h *Heap) InvariantViolatedUsable() bool {
+	a := h.a.Load() - h.CapacityWaste()
+	return h.u < a-int64(h.k*h.sbSize) && float64(h.u) < (1-h.fEmpty)*float64(a)
+}
+
 // ClassOccupancy is one size class's occupancy within a heap: superblock
 // count, bytes in use, and the fullness-group histogram. Groups[NumGroups]
 // is the completely-full group.

@@ -215,6 +215,50 @@ func TestInvariantViolationImpliesEvictable(t *testing.T) {
 	}
 }
 
+// The fuzz above uses power-of-two block sizes, which divide S exactly; with
+// a non-dividing size the implication breaks in byte terms — a superblock
+// (1-f) full by blocks can sit under (1-f)·S in bytes — and the usable-bytes
+// form of the invariant is what distinguishes that benign waste from a
+// missed eviction.
+func TestInvariantViolatedUsableDiscountsWaste(t *testing.T) {
+	space := vmtest.NewSized(t, testS)
+	h := newHeap(1)
+	// 1416 does not divide 8192: 5 blocks, 1112 bytes of tail waste.
+	sb := superblock.New(space, testS, 2, 1416)
+	var last alloc.Ptr
+	for i := 0; i < 4; i++ {
+		last, _ = sb.AllocBlock(e)
+	}
+	h.Insert(sb)
+	if got := h.CapacityWaste(); got != 1112 {
+		t.Fatalf("CapacityWaste = %d, want 1112", got)
+	}
+	// 4/5 blocks used: 5664 of 8192 bytes = 69% < (1-f) = 75%, violated —
+	// but only 20% of blocks are free, so there is no evictable victim,
+	// and against the 7080 usable bytes the heap is 80% full: benign.
+	if !h.InvariantViolated() {
+		t.Fatal("byte-form invariant should be violated")
+	}
+	if h.FindEvictable(e) != nil {
+		t.Fatal("no superblock should be evictable at 80% block fullness")
+	}
+	if h.AllFull() {
+		t.Fatal("heap is not AllFull")
+	}
+	if h.InvariantViolatedUsable() {
+		t.Fatal("usable-bytes invariant should hold: the shortfall is all waste")
+	}
+	// One more free crosses the real line: 3/5 blocks = 60% of usable
+	// bytes, below 75% — now both forms are violated and a victim exists.
+	h.FreeBlock(e, sb, last)
+	if !h.InvariantViolatedUsable() {
+		t.Fatal("usable-bytes invariant should be violated at 60% of usable")
+	}
+	if h.FindEvictable(e) != sb {
+		t.Fatal("the two-fifths-free superblock should be evictable")
+	}
+}
+
 func TestTakeSuperSameClassFirst(t *testing.T) {
 	space := vmtest.NewSized(t, testS)
 	g := newHeap(0)

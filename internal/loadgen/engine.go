@@ -1,0 +1,339 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hoard "hoardgo"
+)
+
+// Config configures the serving engine.
+type Config struct {
+	// Allocator is the allocator under test. The engine registers its own
+	// worker Threads and retires every one of them; it does not Close the
+	// allocator (the caller may still want to scrape or inspect it).
+	Allocator *hoard.Allocator
+	// Workers is the number of serving goroutines (default 4), each with
+	// its own Thread.
+	Workers int
+	// Slots is the working-set table size (default 4096): each request's
+	// key maps to a slot, the new response buffer replaces the slot's old
+	// occupant, and the evicted buffer is freed by whichever worker
+	// evicted it — usually not the one that allocated it, so the steady
+	// state is full of the cross-thread frees Hoard exists to handle. Key
+	// skew becomes lifetime skew: hot slots churn in milliseconds, cold
+	// slots pin their blocks for the whole run.
+	Slots int
+	// QueueDepth bounds the listener→worker queue (default 1024). The
+	// listener never blocks on it: when the queue is full the request is
+	// dropped and counted, the way an overloaded server sheds load.
+	QueueDepth int
+	// Seed makes the request stream (keys, sizes, ordering) deterministic.
+	// Wall-clock timing still varies run to run; the work does not.
+	Seed int64
+	// SampleEvery is the footprint/contention timeline cadence (default
+	// 20ms).
+	SampleEvery time.Duration
+}
+
+// request is one unit of work on the listener→worker queue.
+type request struct {
+	key  int64
+	size int   // 0 means drain: free the slot, allocate nothing
+	born int64 // UnixNano at enqueue; end-to-end latency starts here
+}
+
+// slotEntry is one working-set slot. The mutex is per-slot, so slot
+// collisions — not the table — are the only serialization between workers.
+type slotEntry struct {
+	mu sync.Mutex
+	p  hoard.Ptr
+}
+
+// phaseHists collects one phase's measurements. Workers resolve the
+// current phase through an atomic pointer; a request enqueued in one phase
+// is always measured in it because the listener waits for the queue to
+// settle before swapping.
+type phaseHists struct {
+	name    string
+	malloc  Hist // ns per Thread.Malloc
+	free    Hist // ns per Thread.Free of an evicted block
+	request Hist // ns from enqueue to completion
+	done    atomic.Int64
+}
+
+// TimelinePoint is one sample of the allocator's state during the run.
+type TimelinePoint struct {
+	TMS            int64  `json:"t_ms"`
+	Phase          string `json:"phase"`
+	FootprintBytes int64  `json:"footprint_bytes"`
+	LiveBytes      int64  `json:"live_bytes"`
+	CachedBytes    int64  `json:"cached_bytes"`
+	// LockContended and LockWaitNS are cumulative over all instrumented
+	// locks; zero when the allocator was built without Config.Metrics.
+	LockContended int64 `json:"lock_contended"`
+	LockWaitNS    int64 `json:"lock_wait_ns"`
+}
+
+// PhaseResult is one phase's measurements.
+type PhaseResult struct {
+	Name     string      `json:"name"`
+	Requests int64       `json:"requests"`
+	Dropped  int64       `json:"dropped"`
+	Malloc   HistSummary `json:"malloc_ns"`
+	Free     HistSummary `json:"free_ns"`
+	Request  HistSummary `json:"request_ns"`
+	// EndFootprintBytes and EndLiveBytes snapshot the allocator as the
+	// phase's queue settled — the memory state the next phase inherits.
+	EndFootprintBytes int64 `json:"end_footprint_bytes"`
+	EndLiveBytes      int64 `json:"end_live_bytes"`
+}
+
+// LockSummary is one instrumented lock's counters at the end of the run.
+type LockSummary struct {
+	Name      string `json:"name"`
+	Acquires  int64  `json:"acquires"`
+	Contended int64  `json:"contended"`
+	WaitNS    int64  `json:"wait_ns"`
+	HoldNS    int64  `json:"hold_ns"`
+}
+
+// Result is the engine's full report.
+type Result struct {
+	Phases    []PhaseResult   `json:"phases"`
+	Timeline  []TimelinePoint `json:"timeline"`
+	Locks     []LockSummary   `json:"locks,omitempty"`
+	Requests  int64           `json:"requests"`
+	Dropped   int64           `json:"dropped"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	// FinalLiveBytes and FinalCachedBytes are the leak check: after the
+	// final sweep and every Thread.Close, both must be zero — Run errors
+	// otherwise.
+	FinalLiveBytes   int64 `json:"final_live_bytes"`
+	FinalCachedBytes int64 `json:"final_cached_bytes"`
+}
+
+// Run plays the phases through the serving pipeline: a listener goroutine
+// paces requests onto a bounded queue by the wall clock, workers serve them
+// against the shared working set, and a sampler records the footprint and
+// contention timeline. On return every worker Thread has been Closed, the
+// working set swept, and the allocator verified drained (live == 0,
+// cached == 0, integrity clean) — the engine is itself a lifecycle
+// regression test that runs on every benchmark.
+func Run(cfg Config, phases []Phase) (Result, error) {
+	if cfg.Allocator == nil {
+		return Result{}, fmt.Errorf("loadgen: Config.Allocator is nil")
+	}
+	if len(phases) == 0 {
+		return Result{}, fmt.Errorf("loadgen: no phases")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4096
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 20 * time.Millisecond
+	}
+
+	a := cfg.Allocator
+	slots := make([]slotEntry, cfg.Slots)
+	queue := make(chan request, cfg.QueueDepth)
+	var cur atomic.Pointer[phaseHists]
+	cur.Store(&phaseHists{name: phases[0].Name})
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := a.NewThread()
+			defer th.Close()
+			for req := range queue {
+				ph := cur.Load()
+				slot := &slots[req.key%int64(len(slots))]
+				var old hoard.Ptr
+				if req.size > 0 {
+					t0 := time.Now()
+					p := th.Malloc(req.size)
+					ph.malloc.Record(time.Since(t0).Nanoseconds())
+					// Touch the response the way a handler fills one.
+					n := req.size
+					if n > 64 {
+						n = 64
+					}
+					buf := th.Bytes(p, n)
+					for i := range buf {
+						buf[i] = byte(req.key)
+					}
+					slot.mu.Lock()
+					old = slot.p
+					slot.p = p
+					slot.mu.Unlock()
+				} else {
+					slot.mu.Lock()
+					old = slot.p
+					slot.p = 0
+					slot.mu.Unlock()
+				}
+				if !old.IsNil() {
+					t0 := time.Now()
+					th.Free(old)
+					ph.free.Record(time.Since(t0).Nanoseconds())
+				}
+				ph.request.Record(time.Now().UnixNano() - req.born)
+				ph.done.Add(1)
+			}
+		}()
+	}
+
+	// Sampler: the footprint and contention timeline.
+	var (
+		timelineMu sync.Mutex
+		timeline   []TimelinePoint
+	)
+	start := time.Now()
+	samplerDone := make(chan struct{})
+	samplerExit := make(chan struct{})
+	go func() {
+		defer close(samplerExit)
+		tick := time.NewTicker(cfg.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerDone:
+				return
+			case <-tick.C:
+				st := a.Stats()
+				pt := TimelinePoint{
+					TMS:            time.Since(start).Milliseconds(),
+					Phase:          cur.Load().name,
+					FootprintBytes: st.FootprintBytes,
+					LiveBytes:      st.LiveBytes,
+					// MagazineBytes, not CachedBytes: the exact gauge
+					// needs quiescence, this one is safe mid-load.
+					CachedBytes: a.MagazineBytes(),
+				}
+				for _, ls := range a.LockStats() {
+					pt.LockContended += ls.Contended
+					pt.LockWaitNS += ls.WaitNS
+				}
+				timelineMu.Lock()
+				timeline = append(timeline, pt)
+				timelineMu.Unlock()
+			}
+		}
+	}()
+
+	// Listener: open-loop arrival pacing, phase by phase.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	for i := range phases {
+		ph := &phases[i]
+		hists := &phaseHists{name: ph.Name}
+		cur.Store(hists)
+		var sent, dropped int64
+		shifted := false
+		phaseStart := time.Now()
+		next := phaseStart
+		for {
+			now := time.Now()
+			x := float64(now.Sub(phaseStart)) / float64(ph.Duration)
+			if x >= 1 {
+				break
+			}
+			if !shifted && ph.ShiftAt > 0 && x >= ph.ShiftAt {
+				if hs, ok := ph.Keys.(*Hotspot); ok {
+					hs.Shift(ph.Shift)
+				}
+				shifted = true
+			}
+			req := request{key: ph.Keys.Next(rng), born: now.UnixNano()}
+			if !ph.Drain {
+				req.size = ph.Sizes.Next(rng)
+			}
+			select {
+			case queue <- req:
+				sent++
+			default:
+				dropped++
+			}
+			next = next.Add(time.Duration(1e9 / ph.rateAt(x)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			} else if next.Before(now.Add(-50 * time.Millisecond)) {
+				// Hopelessly behind the curve (the box can't source this
+				// rate): resynchronize instead of bursting forever.
+				next = now
+			}
+		}
+		// Let the phase's queue settle so measurements attribute cleanly.
+		for hists.done.Load() < sent {
+			time.Sleep(time.Millisecond)
+		}
+		st := a.Stats()
+		res.Phases = append(res.Phases, PhaseResult{
+			Name:              ph.Name,
+			Requests:          sent,
+			Dropped:           dropped,
+			Malloc:            hists.malloc.Summary(),
+			Free:              hists.free.Summary(),
+			Request:           hists.request.Summary(),
+			EndFootprintBytes: st.FootprintBytes,
+			EndLiveBytes:      st.LiveBytes,
+		})
+		res.Requests += sent
+		res.Dropped += dropped
+	}
+
+	close(queue)
+	wg.Wait()
+	close(samplerDone)
+	<-samplerExit
+
+	// Final sweep: whatever the working set still pins is freed here, and
+	// the sweeping thread retires too.
+	sweeper := a.NewThread()
+	for i := range slots {
+		if p := slots[i].p; !p.IsNil() {
+			sweeper.Free(p)
+			slots[i].p = 0
+		}
+	}
+	sweeper.Close()
+
+	res.ElapsedNS = time.Since(start).Nanoseconds()
+	st := a.Stats()
+	res.FinalLiveBytes = st.LiveBytes
+	res.FinalCachedBytes = a.CachedBytes()
+	for _, ls := range a.LockStats() {
+		res.Locks = append(res.Locks, LockSummary{
+			Name:      ls.Name,
+			Acquires:  ls.Acquires,
+			Contended: ls.Contended,
+			WaitNS:    ls.WaitNS,
+			HoldNS:    ls.HoldNS,
+		})
+	}
+	timelineMu.Lock()
+	res.Timeline = timeline
+	timelineMu.Unlock()
+
+	if res.FinalLiveBytes != 0 {
+		return res, fmt.Errorf("loadgen: %d bytes still live after drain — the workload leaked", res.FinalLiveBytes)
+	}
+	if res.FinalCachedBytes != 0 {
+		return res, fmt.Errorf("loadgen: %d bytes stranded in thread caches after drain — a Thread was not Closed", res.FinalCachedBytes)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		return res, fmt.Errorf("loadgen: post-run integrity: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hoard "hoardgo"
+)
+
+// testPhases is a fast version of the standard schedule for unit tests.
+func testPhases(dur time.Duration) []Phase {
+	return StandardPhases(2048, 16, 1024, dur, 5000)
+}
+
+func TestEngineRun(t *testing.T) {
+	a := hoard.MustNew(hoard.Config{
+		Procs:               4,
+		ThreadCacheCapacity: 32,
+		Metrics:             true,
+	})
+	defer a.Close()
+	res, err := Run(Config{
+		Allocator:   a,
+		Workers:     4,
+		Slots:       1024,
+		Seed:        1,
+		SampleEvery: 10 * time.Millisecond,
+	}, testPhases(120*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("got %d phase results, want 4", len(res.Phases))
+	}
+	for _, ph := range res.Phases {
+		if ph.Requests == 0 {
+			t.Errorf("phase %s served no requests", ph.Name)
+		}
+		if ph.Name != "slow-drain" && ph.Malloc.Count == 0 {
+			t.Errorf("phase %s recorded no malloc latencies", ph.Name)
+		}
+		if ph.Request.Count == 0 {
+			t.Errorf("phase %s recorded no request latencies", ph.Name)
+		}
+		if ph.Request.P999 < ph.Request.P50 || ph.Request.Max < ph.Request.P999 {
+			t.Errorf("phase %s quantiles disordered: %+v", ph.Name, ph.Request)
+		}
+	}
+	if res.FinalLiveBytes != 0 || res.FinalCachedBytes != 0 {
+		t.Fatalf("drain left live=%d cached=%d", res.FinalLiveBytes, res.FinalCachedBytes)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatalf("no timeline samples over %dms", res.ElapsedNS/1e6)
+	}
+	if len(res.Locks) == 0 {
+		t.Fatalf("Metrics was set but no lock summaries were reported")
+	}
+	// The drain phase must actually shrink the live set: its end-of-phase
+	// live bytes must be well under the burst phase's.
+	burst, drain := res.Phases[2], res.Phases[3]
+	if drain.EndLiveBytes >= burst.EndLiveBytes && burst.EndLiveBytes > 0 {
+		t.Errorf("slow-drain did not shrink live bytes: %d -> %d",
+			burst.EndLiveBytes, drain.EndLiveBytes)
+	}
+}
+
+func TestEngineDebugStack(t *testing.T) {
+	// The full stack — debug canaries + quarantine over tcache over the
+	// core — must also drain to zero through the engine's lifecycle.
+	a := hoard.MustNew(hoard.Config{
+		Procs:               2,
+		ThreadCacheCapacity: 16,
+		Debug:               true,
+	})
+	defer a.Close()
+	res, err := Run(Config{Allocator: a, Workers: 2, Slots: 256, Seed: 2},
+		testPhases(40*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Run over debug stack: %v", err)
+	}
+	if res.FinalLiveBytes != 0 || res.FinalCachedBytes != 0 {
+		t.Fatalf("debug stack drain left live=%d cached=%d",
+			res.FinalLiveBytes, res.FinalCachedBytes)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := Run(Config{}, testPhases(time.Millisecond)); err == nil {
+		t.Fatal("nil allocator accepted")
+	}
+	a := hoard.MustNew(hoard.Config{})
+	defer a.Close()
+	if _, err := Run(Config{Allocator: a}, nil); err == nil {
+		t.Fatal("empty phase list accepted")
+	}
+}
+
+// TestLiveLintUnderLoad scrapes the public MetricsHandler while the engine
+// drives traffic and lints every response as Prometheus exposition text, on
+// both backends. This is the satellite check: the exporter must emit
+// well-formed output not just at rest but mid-load, with heap occupancy and
+// lock counters changing underfoot. Runs under -race in the load-smoke
+// target.
+func TestLiveLintUnderLoad(t *testing.T) {
+	for _, backend := range []string{"sim", "arena"} {
+		t.Run(backend, func(t *testing.T) {
+			a := hoard.MustNew(hoard.Config{
+				Procs:               2,
+				Backend:             backend,
+				ThreadCacheCapacity: 32,
+				Metrics:             true,
+			})
+			defer a.Close()
+			if backend == "arena" && a.Backend() != "arena" {
+				t.Skipf("arena backend unavailable: %s", a.BackendFallbackReason())
+			}
+			srv := httptest.NewServer(a.MetricsHandler())
+			defer srv.Close()
+
+			done := make(chan error, 1)
+			go func() {
+				_, err := Run(Config{Allocator: a, Workers: 2, Slots: 512, Seed: 3},
+					testPhases(80*time.Millisecond))
+				done <- err
+			}()
+
+			var scrapes int
+			for {
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("Run: %v", err)
+					}
+					if scrapes < 3 {
+						t.Fatalf("only %d scrapes completed during the run", scrapes)
+					}
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL)
+				if err != nil {
+					t.Fatalf("scrape: %v", err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("scrape read: %v", err)
+				}
+				if err := hoard.LintMetrics(string(body)); err != nil {
+					t.Fatalf("scrape %d failed lint: %v", scrapes, err)
+				}
+				scrapes++
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestEngineOverloadSheds verifies the open-loop contract: a rate the
+// workers cannot match turns into drops, not into a stalled listener.
+func TestEngineOverloadSheds(t *testing.T) {
+	a := hoard.MustNew(hoard.Config{Procs: 1})
+	defer a.Close()
+	phases := []Phase{{
+		Name:     "flood",
+		Duration: 60 * time.Millisecond,
+		Rate:     func(x float64) float64 { return 5e6 }, // unsourceable
+		Keys:     NewUniform(64),
+		Sizes:    NewSizes(NewUniform(1), 1<<16, 1<<16), // 64 KiB each
+	}}
+	res, err := Run(Config{Allocator: a, Workers: 1, Slots: 16, QueueDepth: 8, Seed: 4}, phases)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("no drops under a 5M req/s flood (served %d)", res.Requests)
+	}
+}
+
+func init() {
+	// Guard against the test phases accidentally containing a zero rate,
+	// which would spin the listener.
+	for _, ph := range testPhases(time.Second) {
+		for _, x := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+			if r := ph.rateAt(x); r < 1 {
+				panic(fmt.Sprintf("phase %s rate %f at x=%f", ph.Name, r, x))
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package loadgen is the traffic-shaped serving benchmark: a YCSB-style
+// load engine that drives the allocator under wall-clock request streams
+// with skewed key popularity, bursty arrival rates, and tail-latency SLOs —
+// the way the paper's server workload (Larson) would be measured in
+// production. It provides:
+//
+//   - request-key and request-size generators (zipfian, hotspot,
+//     exponential, uniform), deterministic under a seed;
+//   - concurrent HDR-style latency histograms with p50/p99/p999/max;
+//   - traffic phases (diurnal ramp, hotspot shift, burst spike, slow
+//     drain) with open-loop wall-clock arrival pacing;
+//   - the serving engine itself — the examples/webserver pipeline
+//     (listener allocates, workers respond and free cross-thread, a keyed
+//     working set pins skewed lifetimes) hardened with the full thread and
+//     allocator lifecycle — recording per-op malloc/free latency,
+//     end-to-end request latency, and a committed-bytes timeline;
+//   - a wall-clock 1..NumCPU scalability sweep with instrumented locks,
+//     on both the sim and arena backends.
+//
+// cmd/hoardload is the CLI front end and writes the committed BENCH_PR9
+// artifact; DESIGN.md §13 documents the architecture and EXPERIMENTS.md A13
+// the results.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Generator produces a stream of int64 values in [0, N) — request keys or
+// request sizes depending on where it is plugged in. Implementations are
+// immutable after construction (safe for concurrent Next with per-caller
+// rngs) except where documented.
+type Generator interface {
+	// Next draws the next value using the caller's rng, so each worker
+	// can stream deterministically from its own seed.
+	Next(r *rand.Rand) int64
+	// N is the exclusive upper bound of the value space.
+	N() int64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct{ n int64 }
+
+// NewUniform builds a uniform generator over [0, n).
+func NewUniform(n int64) *Uniform {
+	if n <= 0 {
+		panic(fmt.Sprintf("loadgen: uniform over %d values", n))
+	}
+	return &Uniform{n: n}
+}
+
+func (u *Uniform) Next(r *rand.Rand) int64 { return r.Int63n(u.n) }
+func (u *Uniform) N() int64                { return u.n }
+func (u *Uniform) Name() string            { return "uniform" }
+
+// Zipfian draws from [0, n) with the YCSB zipfian distribution (Gray et
+// al.'s "Quickly generating billion-record synthetic databases" algorithm):
+// rank 0 is the most popular, popularity falls off as 1/rank^theta. The
+// zeta constants are precomputed so Next is two float ops and a pow.
+type Zipfian struct {
+	n               int64
+	theta           float64
+	alpha, zetan    float64
+	eta, halfPowTta float64
+}
+
+// ZipfianTheta is the YCSB default skew: ~0.63 of ops hit the hottest 10%.
+const ZipfianTheta = 0.99
+
+// NewZipfian builds a zipfian generator over [0, n) with skew theta in
+// (0, 1).
+func NewZipfian(n int64, theta float64) *Zipfian {
+	if n <= 0 || theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("loadgen: zipfian over %d values with theta %v", n, theta))
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.halfPowTta = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int64, theta float64) float64 {
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *Zipfian) Next(r *rand.Rand) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowTta {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+func (z *Zipfian) N() int64     { return z.n }
+func (z *Zipfian) Name() string { return fmt.Sprintf("zipfian(%.2f)", z.theta) }
+
+// Scrambled spreads another generator's rank order across the key space
+// with an FNV-style hash, so zipfian popularity does not correlate with key
+// adjacency (YCSB's scrambled zipfian). Hot keys land far apart — the worst
+// case for any allocator hoping popular objects cluster.
+type Scrambled struct {
+	inner Generator
+	salt  uint64
+}
+
+// NewScrambled wraps inner with rank scrambling under the given salt.
+func NewScrambled(inner Generator, salt uint64) *Scrambled {
+	return &Scrambled{inner: inner, salt: salt}
+}
+
+func (s *Scrambled) Next(r *rand.Rand) int64 {
+	h := uint64(s.inner.Next(r)) ^ s.salt
+	h *= 0x100000001b3 // FNV prime
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int64(h % uint64(s.inner.N()))
+}
+
+func (s *Scrambled) N() int64     { return s.inner.N() }
+func (s *Scrambled) Name() string { return "scrambled-" + s.inner.Name() }
+
+// Hotspot draws from [0, n) with a hot region: hotOpFrac of the draws land
+// uniformly in a window of hotSetFrac*n keys starting at a movable base,
+// the rest land uniformly in the whole space (YCSB's hotspot distribution).
+// Shift slides the window — the mid-phase "the fashionable working set
+// moved" event. The base is atomic so a running engine can shift it while
+// workers draw.
+type Hotspot struct {
+	n         int64
+	hotSet    int64
+	hotOpFrac float64
+	base      atomic.Int64
+}
+
+// NewHotspot builds a hotspot generator: hotSetFrac of the key space
+// receives hotOpFrac of the operations.
+func NewHotspot(n int64, hotSetFrac, hotOpFrac float64) *Hotspot {
+	if n <= 0 || hotSetFrac <= 0 || hotSetFrac > 1 || hotOpFrac < 0 || hotOpFrac > 1 {
+		panic(fmt.Sprintf("loadgen: hotspot(%d, %v, %v)", n, hotSetFrac, hotOpFrac))
+	}
+	hot := int64(float64(n) * hotSetFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	return &Hotspot{n: n, hotSet: hot, hotOpFrac: hotOpFrac}
+}
+
+func (h *Hotspot) Next(r *rand.Rand) int64 {
+	if r.Float64() < h.hotOpFrac {
+		return (h.base.Load() + r.Int63n(h.hotSet)) % h.n
+	}
+	return r.Int63n(h.n)
+}
+
+// Shift slides the hot window by delta keys (wrapping), abandoning the old
+// hot set — its objects go cold and linger in the working set.
+func (h *Hotspot) Shift(delta int64) {
+	h.base.Store(((h.base.Load()+delta)%h.n + h.n) % h.n)
+}
+
+func (h *Hotspot) N() int64 { return h.n }
+func (h *Hotspot) Name() string {
+	return fmt.Sprintf("hotspot(%.2f/%.2f)", float64(h.hotSet)/float64(h.n), h.hotOpFrac)
+}
+
+// Exponential draws from [0, n) with an exponential distribution of the
+// given mean, clamped to the space — small values dominate, the tail is
+// long. Used for request sizes (most responses are small, a few are big).
+type Exponential struct {
+	n    int64
+	mean float64
+}
+
+// NewExponential builds an exponential generator over [0, n) with the given
+// mean.
+func NewExponential(n int64, mean float64) *Exponential {
+	if n <= 0 || mean <= 0 {
+		panic(fmt.Sprintf("loadgen: exponential(%d, %v)", n, mean))
+	}
+	return &Exponential{n: n, mean: mean}
+}
+
+func (e *Exponential) Next(r *rand.Rand) int64 {
+	v := int64(r.ExpFloat64() * e.mean)
+	if v >= e.n {
+		v = e.n - 1
+	}
+	return v
+}
+
+func (e *Exponential) N() int64     { return e.n }
+func (e *Exponential) Name() string { return fmt.Sprintf("exponential(%.0f)", e.mean) }
+
+// Sizes adapts a generator to request sizes in [min, max]: the generated
+// value offsets min, clamped at max. The distribution's shape is preserved
+// over the window.
+type Sizes struct {
+	gen      Generator
+	min, max int
+}
+
+// NewSizes builds a size generator over [min, max] bytes from gen's values.
+func NewSizes(gen Generator, min, max int) *Sizes {
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("loadgen: sizes [%d, %d]", min, max))
+	}
+	return &Sizes{gen: gen, min: min, max: max}
+}
+
+// Next draws a size in [min, max].
+func (s *Sizes) Next(r *rand.Rand) int {
+	v := s.min + int(s.gen.Next(r))
+	if v > s.max {
+		v = s.max
+	}
+	return v
+}
+
+// Name identifies the size distribution in reports.
+func (s *Sizes) Name() string { return fmt.Sprintf("%s[%d..%d]", s.gen.Name(), s.min, s.max) }

@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// draw samples g n times and returns per-value counts.
+func draw(t *testing.T, g Generator, n int, seed int64) map[int64]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int64]int)
+	for i := 0; i < n; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= g.N() {
+			t.Fatalf("%s: value %d out of [0, %d)", g.Name(), v, g.N())
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []Generator{
+		NewUniform(1000),
+		NewZipfian(1000, ZipfianTheta),
+		NewScrambled(NewZipfian(1000, ZipfianTheta), 42),
+		NewHotspot(1000, 0.1, 0.9),
+		NewExponential(1000, 100),
+	}
+	for _, g := range gens {
+		r1 := rand.New(rand.NewSource(7))
+		r2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			a, b := g.Next(r1), g.Next(r2)
+			if a != b {
+				t.Fatalf("%s: draw %d differs under same seed: %d vs %d", g.Name(), i, a, b)
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	counts := draw(t, NewZipfian(n, ZipfianTheta), draws, 1)
+	// Rank popularity must fall off steeply: rank 0 far above rank 10 far
+	// above rank 100. Exact frequencies depend on the zeta constants; the
+	// ordering with wide margins is the distribution's signature.
+	if counts[0] < 2*counts[10] {
+		t.Fatalf("rank 0 (%d) not well above rank 10 (%d)", counts[0], counts[10])
+	}
+	if counts[10] < 2*counts[100] {
+		t.Fatalf("rank 10 (%d) not well above rank 100 (%d)", counts[10], counts[100])
+	}
+	// YCSB's calibration: the hottest 10% of keys should absorb well over
+	// half the draws at theta=0.99.
+	var hot int
+	for k, c := range counts {
+		if k < n/10 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.55 {
+		t.Fatalf("hottest 10%% of keys got %.2f of draws, want > 0.55", frac)
+	}
+}
+
+func TestScrambledSpreadsPreservesSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	counts := draw(t, NewScrambled(NewZipfian(n, ZipfianTheta), 99), draws, 2)
+	// The mass still concentrates on few keys (skew preserved)...
+	var top int
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if top < draws/20 {
+		t.Fatalf("hottest key got %d of %d draws; scrambling destroyed the skew", top, draws)
+	}
+	// ...but not on the low ranks (order scrambled): the first 10 keys
+	// should hold nothing like the unscrambled ~63%.
+	var low int
+	for k, c := range counts {
+		if k < 10 {
+			low += c
+		}
+	}
+	if frac := float64(low) / draws; frac > 0.5 {
+		t.Fatalf("keys 0..9 still hold %.2f of draws after scrambling", frac)
+	}
+}
+
+func TestHotspotShift(t *testing.T) {
+	const n, draws = 1000, 100000
+	h := NewHotspot(n, 0.1, 0.9)
+	inWindow := func(seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		base := int64(0)
+		if b := h.base.Load(); b != 0 {
+			base = b
+		}
+		var in int
+		for i := 0; i < draws; i++ {
+			v := h.Next(rng)
+			if (v-base+n)%n < h.hotSet {
+				in++
+			}
+		}
+		return float64(in) / draws
+	}
+	// ~90% hot + ~10% uniform spillover ≈ 0.91 expected in-window.
+	if f := inWindow(3); f < 0.85 {
+		t.Fatalf("pre-shift hot-window fraction %.2f, want > 0.85", f)
+	}
+	h.Shift(n / 2)
+	if got := h.base.Load(); got != n/2 {
+		t.Fatalf("base after shift = %d, want %d", got, n/2)
+	}
+	if f := inWindow(4); f < 0.85 {
+		t.Fatalf("post-shift hot-window fraction %.2f, want > 0.85", f)
+	}
+}
+
+func TestExponentialSmallValuesDominate(t *testing.T) {
+	const n, draws = 4096, 100000
+	counts := draw(t, NewExponential(n, 256), draws, 5)
+	var below int
+	for k, c := range counts {
+		if k < 256 {
+			below += c
+		}
+	}
+	// P(X < mean) = 1 - 1/e ≈ 0.63 for an exponential.
+	if frac := float64(below) / draws; frac < 0.55 || frac > 0.72 {
+		t.Fatalf("fraction below mean = %.2f, want ~0.63", frac)
+	}
+}
+
+func TestSizesBounds(t *testing.T) {
+	s := NewSizes(NewExponential(10000, 500), 16, 2048)
+	rng := rand.New(rand.NewSource(6))
+	sawMin, sawBig := false, false
+	for i := 0; i < 100000; i++ {
+		v := s.Next(rng)
+		if v < 16 || v > 2048 {
+			t.Fatalf("size %d out of [16, 2048]", v)
+		}
+		if v == 16 {
+			sawMin = true
+		}
+		if v > 1024 {
+			sawBig = true
+		}
+	}
+	if !sawMin || !sawBig {
+		t.Fatalf("size stream never hit the bounds (min=%v big=%v)", sawMin, sawBig)
+	}
+}

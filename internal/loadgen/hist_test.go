@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistIndexValueRoundTrip(t *testing.T) {
+	// The bucket's representative value must bound the value from above
+	// with bounded relative error (one sub-bucket, 1/16).
+	vals := []int64{0, 1, 15, 16, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1 << 20, (1 << 40) + 12345, 1<<62 + 999}
+	for _, v := range vals {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		hv := histValue(idx)
+		if hv < v {
+			t.Fatalf("histValue(histIndex(%d)) = %d < value", v, hv)
+		}
+		if v >= 32 && float64(hv-v) > float64(v)/8 {
+			t.Fatalf("bucket error for %d: representative %d off by %d", v, hv, hv-v)
+		}
+	}
+	// Random sweep of the same invariant.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63()
+		idx := histIndex(v)
+		if hv := histValue(idx); hv < v || (v >= 32 && float64(hv-v) > float64(v)/8) {
+			t.Fatalf("round trip failed for %d: idx=%d value=%d", v, idx, hv)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	const n = 100000
+	for i := int64(1); i <= n; i++ {
+		h.Record(i)
+	}
+	s := h.Summary()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d", s.Count, n)
+	}
+	if s.Max != n {
+		t.Fatalf("Max = %d, want %d", s.Max, n)
+	}
+	within := func(name string, got, want int64) {
+		t.Helper()
+		lo, hi := want-want/10, want+want/10
+		if got < lo || got > hi {
+			t.Fatalf("%s = %d, want within 10%% of %d", name, got, want)
+		}
+	}
+	within("P50", s.P50, n/2)
+	within("P90", s.P90, n*9/10)
+	within("P99", s.P99, n*99/100)
+	within("P999", s.P999, n*999/1000)
+	if s.Mean < float64(n)/2*0.99 || s.Mean > float64(n)/2*1.01+1 {
+		t.Fatalf("Mean = %.1f, want ~%d", s.Mean, n/2)
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h Hist
+	if s := h.Summary(); s.Count != 0 || s.Max != 0 || s.P999 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	h.Record(-5)
+	if s := h.Summary(); s.Count != 1 || s.P50 != 0 {
+		t.Fatalf("negative record summary = %+v", s)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Summary(); s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+}

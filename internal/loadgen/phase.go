@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Phase is one segment of a traffic schedule: a duration, an arrival-rate
+// curve over it, and the key/size distributions in force. The engine plays
+// phases back to back against one allocator, so memory shaped by one phase
+// (a hot set gone cold, burst-inflated superblocks) is the inheritance of
+// the next — which is exactly what a serving process lives through and
+// what per-run microbenchmarks never show.
+type Phase struct {
+	// Name labels the phase in results.
+	Name string
+	// Duration is the phase's wall-clock length.
+	Duration time.Duration
+	// Rate maps phase progress x in [0,1] to an arrival rate in requests
+	// per second. The listener integrates it open-loop: arrivals are paced
+	// by the wall clock, never by service completion, so a slow allocator
+	// builds queue instead of quietly slowing the offered load.
+	Rate func(x float64) float64
+	// Keys generates request keys; Sizes generates response-buffer sizes.
+	Keys  Generator
+	Sizes *Sizes
+	// ShiftAt, when positive and Keys is a *Hotspot, slides the hot window
+	// by Shift keys once progress passes it — the working set moves
+	// mid-phase.
+	ShiftAt float64
+	Shift   int64
+	// Drain makes every request a release: the worker frees the key's slot
+	// and allocates nothing. Traffic ebbing away at end of day.
+	Drain bool
+}
+
+// rateAt evaluates the phase's rate curve with a floor of one request/sec
+// so the listener's pacing arithmetic never divides by zero.
+func (p *Phase) rateAt(x float64) float64 {
+	r := p.Rate(x)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// StandardPhases is the benchmark's canonical traffic schedule — four
+// phases, each a serving cliché:
+//
+//	diurnal-ramp:  arrival rate climbs 20%→100% of peak; scrambled-zipfian
+//	               keys, exponential sizes. The footprint the ramp builds
+//	               is the baseline everything later is judged against.
+//	hotspot-shift: steady 80% rate, 90% of ops on 10% of keys; halfway
+//	               through the hot window jumps by half the key space.
+//	               The old hot set's blocks go cold in place.
+//	burst-spike:   50% base rate with a 6x spike through the middle fifth.
+//	               Tail latency and footprint growth under the spike are
+//	               the numbers an SLO is written about.
+//	slow-drain:    frees only, rate tapering to zero. What the allocator
+//	               still holds at the end — footprint over live — is its
+//	               retention debt.
+//
+// keys sizes the key space, sizeMin/sizeMax bound request sizes, each
+// phase runs for dur at the given peak requests/sec.
+func StandardPhases(keys int64, sizeMin, sizeMax int, dur time.Duration, peakRate float64) []Phase {
+	sizeSpan := int64(sizeMax - sizeMin + 1)
+	expSizes := NewSizes(NewExponential(sizeSpan, float64(sizeSpan)/8), sizeMin, sizeMax)
+	uniSizes := NewSizes(NewUniform(sizeSpan), sizeMin, sizeMax)
+	zipf := NewScrambled(NewZipfian(keys, ZipfianTheta), 0x9E3779B97F4A7C15)
+	hot := NewHotspot(keys, 0.10, 0.90)
+	return []Phase{
+		{
+			Name:     "diurnal-ramp",
+			Duration: dur,
+			Rate:     func(x float64) float64 { return peakRate * (0.2 + 0.8*x) },
+			Keys:     zipf,
+			Sizes:    expSizes,
+		},
+		{
+			Name:     "hotspot-shift",
+			Duration: dur,
+			Rate:     func(x float64) float64 { return peakRate * 0.8 },
+			Keys:     hot,
+			Sizes:    expSizes,
+			ShiftAt:  0.5,
+			Shift:    keys / 2,
+		},
+		{
+			Name:     "burst-spike",
+			Duration: dur,
+			Rate: func(x float64) float64 {
+				base := peakRate * 0.5
+				if x >= 0.4 && x < 0.6 {
+					// Raised-cosine edges so the spike is steep but not a
+					// discontinuity the pacing loop aliases on.
+					w := (x - 0.4) / 0.2
+					return base + peakRate*2.5*(1-math.Cos(2*math.Pi*w))
+				}
+				return base
+			},
+			Keys:  zipf,
+			Sizes: uniSizes,
+		},
+		{
+			Name:     "slow-drain",
+			Duration: dur,
+			Rate:     func(x float64) float64 { return peakRate*0.8*(1-x) + 1 },
+			Keys:     NewUniform(keys),
+			Sizes:    uniSizes,
+			Drain:    true,
+		},
+	}
+}

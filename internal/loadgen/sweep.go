@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	hoard "hoardgo"
+)
+
+// SweepEntry is one (backend × procs) cell of the wall-clock scalability
+// sweep.
+type SweepEntry struct {
+	Backend string `json:"backend"`
+	Procs   int    `json:"procs"`
+	// NumCPU records the machine's parallelism so a sweep from a 1-core CI
+	// box is not misread as a scalability curve.
+	NumCPU    int         `json:"num_cpu"`
+	Ops       int64       `json:"ops"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+	OpsPerMS  float64     `json:"ops_per_ms"`
+	Malloc    HistSummary `json:"malloc_ns"`
+	// Lock counters from the instrumented run: total acquisitions,
+	// how many contended, and contention wait amortized per operation.
+	LockAcquires    int64   `json:"lock_acquires"`
+	LockContended   int64   `json:"lock_contended"`
+	LockWaitNSPerOp float64 `json:"lock_wait_ns_per_op"`
+}
+
+// SweepProcs returns the worker counts to sweep: powers of two up to
+// max(4, NumCPU), with NumCPU itself always included. On a single-core box
+// that still yields {1, 2, 4} — oversubscribed cells measure lock-handoff
+// behavior rather than parallel speedup, which the recorded NumCPU makes
+// explicit.
+func SweepProcs() []int {
+	n := runtime.NumCPU()
+	limit := n
+	if limit < 4 {
+		limit = 4
+	}
+	var out []int
+	for p := 1; p <= limit; p *= 2 {
+		out = append(out, p)
+	}
+	if out[len(out)-1] != n && n > out[len(out)-1] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// sweepHandoffEvery sends every Nth allocation to the neighbor worker, so
+// a quarter of all frees are cross-thread — the producer-consumer pattern
+// the paper's blowup analysis centers on.
+const sweepHandoffEvery = 4
+
+// WallClockSweep measures malloc/free throughput and latency on real
+// goroutines against the real clock for each worker count, with every
+// internal lock instrumented. Workers churn exponential-sized blocks,
+// writing each one, and pass every fourth block to their neighbor, who
+// frees it remotely. Returns an error if the requested backend is
+// unavailable (the caller decides whether that is fatal).
+func WallClockSweep(backend string, procs []int, opsPerWorker int, seed int64) ([]SweepEntry, error) {
+	if len(procs) == 0 {
+		procs = SweepProcs()
+	}
+	var out []SweepEntry
+	for _, p := range procs {
+		e, err := sweepCell(backend, p, opsPerWorker, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// sweepCell runs one backend × procs measurement on a fresh allocator.
+func sweepCell(backend string, procs, opsPerWorker int, seed int64) (SweepEntry, error) {
+	a, err := hoard.New(hoard.Config{
+		Procs:   procs,
+		Backend: backend,
+		Metrics: true,
+	})
+	if err != nil {
+		return SweepEntry{}, fmt.Errorf("loadgen sweep: %w", err)
+	}
+	defer a.Close()
+	if backend == "arena" && a.Backend() != "arena" {
+		return SweepEntry{}, fmt.Errorf("loadgen sweep: arena backend unavailable: %s", a.BackendFallbackReason())
+	}
+
+	sizes := NewSizes(NewExponential(2048, 256), 16, 2048)
+	var mallocs Hist
+
+	// Ring of handoff channels: worker w sends to w+1, frees what w-1
+	// sends. Each worker closes its outbound when done producing, then
+	// drains its inbound to the last block — no allocation outlives the
+	// run.
+	chans := make([]chan hoard.Ptr, procs)
+	for i := range chans {
+		chans[i] = make(chan hoard.Ptr, 256)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := a.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E37))
+			out, in := chans[(w+1)%procs], chans[w]
+			for i := 0; i < opsPerWorker; i++ {
+				size := sizes.Next(rng)
+				t0 := time.Now()
+				ptr := th.Malloc(size)
+				mallocs.Record(time.Since(t0).Nanoseconds())
+				buf := th.Bytes(ptr, min(size, 64))
+				for j := range buf {
+					buf[j] = byte(i)
+				}
+				if i%sweepHandoffEvery == 0 {
+					select {
+					case out <- ptr:
+						ptr = 0
+					default:
+						// Neighbor's buffer is full; free locally rather
+						// than block the measured loop.
+					}
+				}
+				if ptr != 0 {
+					th.Free(ptr)
+				}
+				// Opportunistically absorb the neighbor's handoffs. The
+				// neighbor may already have finished and closed the
+				// channel — a closed receive reports !ok, not a block.
+				for draining := true; draining; {
+					select {
+					case remote, ok := <-in:
+						if !ok {
+							draining = false
+							break
+						}
+						th.Free(remote)
+					default:
+						draining = false
+					}
+				}
+			}
+			close(out)
+			for remote := range in {
+				th.Free(remote)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := a.Stats()
+	if st.LiveBytes != 0 {
+		return SweepEntry{}, fmt.Errorf("loadgen sweep: %d bytes live after drain on %s/P=%d", st.LiveBytes, backend, procs)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		return SweepEntry{}, fmt.Errorf("loadgen sweep: integrity on %s/P=%d: %w", backend, procs, err)
+	}
+	e := SweepEntry{
+		Backend:   a.Backend(),
+		Procs:     procs,
+		NumCPU:    runtime.NumCPU(),
+		Ops:       st.Mallocs + st.Frees,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Malloc:    mallocs.Summary(),
+	}
+	if e.ElapsedNS > 0 {
+		e.OpsPerMS = float64(e.Ops) / (float64(e.ElapsedNS) / 1e6)
+	}
+	var waitNS int64
+	for _, ls := range a.LockStats() {
+		e.LockAcquires += ls.Acquires
+		e.LockContended += ls.Contended
+		waitNS += ls.WaitNS
+	}
+	if e.Ops > 0 {
+		e.LockWaitNSPerOp = float64(waitNS) / float64(e.Ops)
+	}
+	return e, nil
+}

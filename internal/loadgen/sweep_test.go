@@ -1,0 +1,69 @@
+package loadgen
+
+import "testing"
+
+func TestSweepProcs(t *testing.T) {
+	ps := SweepProcs()
+	if len(ps) == 0 || ps[0] != 1 {
+		t.Fatalf("SweepProcs() = %v, want leading 1", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatalf("SweepProcs() = %v not strictly increasing", ps)
+		}
+	}
+	// Even a single-core box must sweep past 1 worker.
+	if ps[len(ps)-1] < 4 {
+		t.Fatalf("SweepProcs() = %v, want reach >= 4", ps)
+	}
+}
+
+func TestWallClockSweepSim(t *testing.T) {
+	entries, err := WallClockSweep("sim", []int{1, 2}, 3000, 1)
+	if err != nil {
+		t.Fatalf("WallClockSweep: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Backend != "sim" {
+			t.Errorf("backend = %q, want sim", e.Backend)
+		}
+		if e.NumCPU <= 0 {
+			t.Errorf("NumCPU = %d", e.NumCPU)
+		}
+		// 3000 mallocs+frees per worker, plus batch traffic, so at least
+		// 2*3000*procs ops total.
+		if e.Ops < int64(6000*e.Procs) {
+			t.Errorf("P=%d: Ops = %d, want >= %d", e.Procs, e.Ops, 6000*e.Procs)
+		}
+		if e.OpsPerMS <= 0 {
+			t.Errorf("P=%d: OpsPerMS = %f", e.Procs, e.OpsPerMS)
+		}
+		if e.Malloc.Count != int64(3000*e.Procs) {
+			t.Errorf("P=%d: malloc hist count = %d, want %d", e.Procs, e.Malloc.Count, 3000*e.Procs)
+		}
+		if e.Malloc.P999 < e.Malloc.P50 {
+			t.Errorf("P=%d: malloc quantiles disordered: %+v", e.Procs, e.Malloc)
+		}
+		// Metrics is always on in sweep cells; the heap locks must have
+		// been exercised.
+		if e.LockAcquires == 0 {
+			t.Errorf("P=%d: no lock acquisitions recorded", e.Procs)
+		}
+	}
+}
+
+func TestWallClockSweepArena(t *testing.T) {
+	entries, err := WallClockSweep("arena", []int{1}, 1000, 2)
+	if err != nil {
+		t.Skipf("arena backend unavailable: %v", err)
+	}
+	if entries[0].Backend != "arena" {
+		t.Fatalf("backend = %q, want arena", entries[0].Backend)
+	}
+	if entries[0].Malloc.Count != 1000 {
+		t.Fatalf("malloc hist count = %d, want 1000", entries[0].Malloc.Count)
+	}
+}

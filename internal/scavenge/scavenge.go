@@ -110,6 +110,11 @@ type Pacer struct {
 	tokens  int64
 	lastNS  int64
 	started bool
+	// refillRem carries the refill remainder between polls, in
+	// byte-nanosecond units (elapsed ns x BytesPerSec, modulo 1e9). A
+	// wall-clock driver polling faster than one byte's worth of refill
+	// time would otherwise lose every refill to truncation.
+	refillRem int64
 }
 
 // NewPacer returns a Pacer over the (default-filled) config. It panics on an
@@ -136,11 +141,30 @@ func (p *Pacer) Grant(emptyBytes, nowNS int64) int64 {
 		p.tokens = p.cfg.BurstBytes
 	}
 	if dt := nowNS - p.lastNS; dt > 0 {
-		p.tokens += int64(float64(dt) / 1e9 * float64(p.cfg.BytesPerSec))
-		if p.tokens > p.cfg.BurstBytes {
-			p.tokens = p.cfg.BurstBytes
-		}
 		p.lastNS = nowNS
+		// Refill in integer math, carrying the sub-byte remainder across
+		// polls. The obvious float form — tokens += dt/1e9 * rate — rounds
+		// to zero whenever a poll arrives faster than one byte's refill
+		// time, yet still advances the clock; a real-clock scavenger with
+		// a short interval and a low configured rate then never refills
+		// and the slow drain stalls with the bucket pinned at zero. The
+		// simulator's virtual round clock takes steps big enough that the
+		// truncation never showed.
+		rate := p.cfg.BytesPerSec
+		if f := float64(dt)*float64(rate) + float64(p.refillRem); f >= float64(p.cfg.BurstBytes)*1e9+1e9 || f >= 1<<62 {
+			// The elapsed time alone fills the bucket (or the exact
+			// product would overflow): jump straight to full.
+			p.tokens = p.cfg.BurstBytes
+			p.refillRem = 0
+		} else {
+			total := dt*rate + p.refillRem
+			p.tokens += total / 1e9
+			p.refillRem = total % 1e9
+			if p.tokens > p.cfg.BurstBytes {
+				p.tokens = p.cfg.BurstBytes
+				p.refillRem = 0
+			}
+		}
 	}
 	if p.engaged {
 		if emptyBytes <= p.cfg.LowWaterBytes {

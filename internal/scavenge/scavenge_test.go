@@ -234,3 +234,121 @@ func TestScavengerStartStopIdempotent(t *testing.T) {
 	})
 	s.Stop()
 }
+
+// TestPacerWallClockRefill is the wall-clock regression test for the token
+// refill: a poll loop ticking every 100µs at a low configured rate. Each
+// poll's exact refill is a fraction of a byte, which the old float
+// truncation rounded to zero while still advancing the pacer's clock — so
+// the bucket never refilled and a real-clock slow drain stalled forever.
+// The remainder-carrying integer refill must accumulate the full rate.
+func TestPacerWallClockRefill(t *testing.T) {
+	p := NewPacer(Config{
+		HighWaterBytes: S,
+		LowWaterBytes:  S / 2,
+		BytesPerSec:    8192, // one byte per 122µs: slower than the poll period
+		BurstBytes:     1 << 20,
+	})
+	now := int64(0)
+	p.Grant(100*S, now) // first poll: starts the clock with a full burst
+	p.Spend(p.Tokens()) // drain it so only refill feeds the bucket
+	const pollNS = 100_000
+	for i := 0; i < 10_000; i++ { // exactly one second of 100µs polls
+		now += pollNS
+		p.Grant(100*S, now)
+	}
+	if got := p.Tokens(); got != 8192 {
+		t.Fatalf("tokens after 1s of 100µs polls at 8192 B/s = %d, want exactly 8192 (sub-byte refills lost)", got)
+	}
+}
+
+// TestPacerWallClockJitter: refill must be independent of poll cadence —
+// irregular wall-clock steps summing to the same elapsed time yield the
+// same tokens as one big step (no truncation loss, no double counting).
+func TestPacerWallClockJitter(t *testing.T) {
+	mk := func() *Pacer {
+		p := NewPacer(Config{
+			HighWaterBytes: S,
+			LowWaterBytes:  S / 2,
+			BytesPerSec:    333_333,
+			BurstBytes:     1 << 30,
+		})
+		p.Grant(100*S, 0)
+		p.Spend(p.Tokens())
+		return p
+	}
+	steps := []int64{1, 999, 17, 100_000, 3, 50_000, 777_777, 1, 2_000_000, 123}
+	var total int64
+	jittery := mk()
+	now := int64(0)
+	for _, dt := range steps {
+		now += dt
+		total += dt
+		jittery.Grant(100*S, now)
+	}
+	oneShot := mk()
+	oneShot.Grant(100*S, total)
+	if jittery.Tokens() != oneShot.Tokens() {
+		t.Fatalf("jittery polls accrued %d tokens, one big step %d — refill depends on poll cadence", jittery.Tokens(), oneShot.Tokens())
+	}
+}
+
+// TestPacerClockStepsBackward: a non-monotonic wall clock (NTP step) must
+// not mint tokens or corrupt the remainder.
+func TestPacerClockStepsBackward(t *testing.T) {
+	p := NewPacer(pacerCfg())
+	p.Grant(100*S, 1_000_000)
+	p.Spend(p.Tokens())
+	if g := p.Grant(100*S, 500_000); g != 0 {
+		t.Fatalf("grant %d after clock stepped backward, want 0", g)
+	}
+	// Time resumes: refill counts only from the high-water mark of the
+	// clock, not from the backward excursion.
+	if g := p.Grant(100*S, 1_000_000+10*int64(time.Millisecond)); g <= 0 {
+		t.Fatalf("grant %d after clock recovered, want > 0", g)
+	}
+}
+
+// TestScavengerWallClockSlowDrain drives the real background goroutine with
+// time.Now pacing through a slow drain: a parked pool must dribble out at
+// the configured rate — neither stalling (the refill-truncation bug) nor
+// dumping in one pass (the burst cap), and the poll loop must not spin
+// (wakeups bounded by elapsed/Interval).
+func TestScavengerWallClockSlowDrain(t *testing.T) {
+	const pool = 64 * S // 512 KiB parked
+	f := &fakeTarget{empty: pool}
+	s := New(f, Config{
+		HighWaterBytes: 2 * S,
+		LowWaterBytes:  S,
+		ColdAge:        time.Nanosecond,
+		Interval:       time.Millisecond,
+		BytesPerSec:    2 << 20, // ~250ms to drain the pool
+		BurstBytes:     4 * S,   // at most 4 superblocks per pass
+		MaxBackoff:     50 * time.Millisecond,
+	})
+	start := time.Now()
+	s.Start()
+	defer s.Stop()
+	waitFor(t, "paced slow drain to the low watermark", func() bool {
+		empty, _, _ := f.get()
+		return empty <= S
+	})
+	elapsed := time.Since(start)
+	s.Stop()
+	st := s.Stats()
+	if st.ReleasedBytes != pool-S {
+		t.Fatalf("ReleasedBytes = %d, want %d", st.ReleasedBytes, pool-S)
+	}
+	// The token bucket admits BurstBytes up front, then BytesPerSec: the
+	// drain cannot legally complete faster than (pool - burst - low)/rate
+	// ≈ 226ms. Finishing well under that means pacing was bypassed.
+	if minimum := 150 * time.Millisecond; elapsed < minimum {
+		t.Fatalf("slow drain finished in %v, want >= %v (pacing bypassed)", elapsed, minimum)
+	}
+	// No zero-interval spin: the poll loop may wake at most once per
+	// Interval plus scheduling slop; 100x elapsed/interval is a generous
+	// ceiling that still catches a busy loop (which would log millions).
+	maxWakeups := 100 * int64(elapsed/time.Millisecond+1)
+	if st.Wakeups > maxWakeups {
+		t.Fatalf("wakeups = %d over %v with a 1ms interval — poll loop is spinning", st.Wakeups, elapsed)
+	}
+}

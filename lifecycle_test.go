@@ -1,0 +1,137 @@
+package hoard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// runServerDrain runs the examples/webserver pattern against a: a listener
+// allocating request buffers, workers allocating responses and freeing both
+// (almost every request-buffer free is cross-thread), then a full drain.
+// When closeThreads is set every worker retires its Thread on exit and the
+// listener follows — the lifecycle the webserver fix introduced.
+func runServerDrain(a *Allocator, workers, requests int, closeThreads bool) {
+	type request struct {
+		buf  Ptr
+		size int
+	}
+	queue := make(chan request, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := a.NewThread()
+			if closeThreads {
+				defer t.Close()
+			}
+			rng := rand.New(rand.NewSource(int64(w)))
+			for req := range queue {
+				var sum byte
+				for _, b := range t.Bytes(req.buf, req.size) {
+					sum ^= b
+				}
+				respSize := 128 + rng.Intn(1024)
+				resp := t.Malloc(respSize)
+				t.Bytes(resp, respSize)[0] = sum
+				t.Free(resp)
+				t.Free(req.buf)
+			}
+		}(w)
+	}
+	listener := a.NewThread()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < requests; i++ {
+		size := 64 + rng.Intn(2048)
+		p := listener.Malloc(size)
+		listener.Bytes(p, size)[0] = byte(i)
+		queue <- request{buf: p, size: size}
+	}
+	close(queue)
+	wg.Wait()
+	if closeThreads {
+		listener.Close()
+	}
+}
+
+// TestWebserverLifecycleDrain is the regression test for the webserver
+// lifecycle bug: worker Thread handles were never flushed, so with a thread
+// cache layered the magazines kept blocks checked out after the drain —
+// nonzero CachedBytes, superblocks pinned against scavenging. With every
+// thread Closed, the drain must leave zero cached and zero live bytes.
+func TestWebserverLifecycleDrain(t *testing.T) {
+	a := MustNew(Config{Procs: 4, ThreadCacheCapacity: 32})
+	defer a.Close()
+	runServerDrain(a, 4, 2000, true)
+	if c := a.CachedBytes(); c != 0 {
+		t.Errorf("CachedBytes = %d after drain with closed threads, want 0", c)
+	}
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Errorf("LiveBytes = %d after drain, want 0", live)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after drained lifecycle: %v", err)
+	}
+}
+
+// TestWebserverLifecycleLeakWithoutClose is the negative control: the same
+// drain without Thread.Close must strand magazine blocks, which is exactly
+// what the pre-fix webserver did. If this ever reports zero the regression
+// test above has stopped testing anything.
+func TestWebserverLifecycleLeakWithoutClose(t *testing.T) {
+	a := MustNew(Config{Procs: 4, ThreadCacheCapacity: 32})
+	defer a.Close()
+	runServerDrain(a, 4, 2000, false)
+	if c := a.CachedBytes(); c == 0 {
+		t.Fatalf("CachedBytes = 0 after drain without Thread.Close; the lifecycle regression test is vacuous")
+	}
+	// The stranded blocks are cached, not leaked to the application view.
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Errorf("LiveBytes = %d after drain, want 0 (cached blocks count as free)", live)
+	}
+}
+
+// TestThreadCloseIdempotentAndUsable: Close twice is safe, and a closed
+// handle still allocates and frees correctly (bypassing the caches).
+func TestThreadCloseIdempotentAndUsable(t *testing.T) {
+	a := MustNew(Config{Procs: 2, ThreadCacheCapacity: 32})
+	defer a.Close()
+	th := a.NewThread()
+	p := th.Malloc(100)
+	th.Free(p)
+	th.Close()
+	th.Close()
+	p = th.Malloc(64)
+	th.Bytes(p, 64)[0] = 1
+	th.Free(p)
+	if c := a.CachedBytes(); c != 0 {
+		t.Errorf("CachedBytes = %d after post-Close ops, want 0 (retired handles bypass magazines)", c)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadCloseDebugStack: Close drains the debug quarantine too, so a
+// debug+tcache stack also reaches zero cached bytes and full accounting.
+func TestThreadCloseDebugStack(t *testing.T) {
+	a := MustNew(Config{Procs: 2, ThreadCacheCapacity: 16, Debug: true, DebugQuarantine: 32})
+	defer a.Close()
+	th := a.NewThread()
+	for i := 0; i < 200; i++ {
+		p := th.Malloc(64 + i%512)
+		th.Bytes(p, 8)[0] = byte(i)
+		th.Free(p)
+	}
+	th.Close()
+	if c := a.CachedBytes(); c != 0 {
+		t.Errorf("CachedBytes = %d after Close on debug stack, want 0", c)
+	}
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Errorf("LiveBytes = %d after Close on debug stack, want 0", live)
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
