@@ -1,4 +1,4 @@
-package hoard
+package hoard_test
 
 // Benchmark harness: one testing.B benchmark per figure and table of the
 // paper's evaluation, plus real-goroutine microbenchmarks of the public
@@ -20,6 +20,7 @@ import (
 	"sync"
 	"testing"
 
+	hoard "hoardgo"
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/allocators"
 	"hoardgo/internal/core"
@@ -151,7 +152,7 @@ func BenchmarkTableBlowup(b *testing.B) {
 func BenchmarkMallocFree(b *testing.B) {
 	for _, name := range allocators.Names() {
 		b.Run(name, func(b *testing.B) {
-			a := MustNew(Config{Policy: Policy(name), Procs: 4})
+			a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(name), Procs: 4})
 			t := a.NewThread()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -164,7 +165,7 @@ func BenchmarkMallocFree(b *testing.B) {
 func BenchmarkMallocFreeSizeMix(b *testing.B) {
 	for _, name := range allocators.Names() {
 		b.Run(name, func(b *testing.B) {
-			a := MustNew(Config{Policy: Policy(name), Procs: 4})
+			a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(name), Procs: 4})
 			t := a.NewThread()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -180,7 +181,7 @@ func BenchmarkMallocFreeSizeMix(b *testing.B) {
 func BenchmarkMallocFreeParallel(b *testing.B) {
 	for _, name := range allocators.Names() {
 		b.Run(name, func(b *testing.B) {
-			a := MustNew(Config{Policy: Policy(name), Procs: 8})
+			a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(name), Procs: 8})
 			b.RunParallel(func(pb *testing.PB) {
 				t := a.NewThread()
 				for pb.Next() {
@@ -196,8 +197,8 @@ func BenchmarkMallocFreeParallel(b *testing.B) {
 func BenchmarkProducerConsumerReal(b *testing.B) {
 	for _, name := range []string{"hoard", "ownership", "private"} {
 		b.Run(name, func(b *testing.B) {
-			a := MustNew(Config{Policy: Policy(name), Procs: 2})
-			ch := make(chan Ptr, 1024)
+			a := hoard.MustNew(hoard.Config{Policy: hoard.Policy(name), Procs: 2})
+			ch := make(chan hoard.Ptr, 1024)
 			var wg sync.WaitGroup
 			wg.Add(1)
 			go func() {

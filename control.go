@@ -1,0 +1,151 @@
+package hoard
+
+import (
+	"fmt"
+	"time"
+
+	"hoardgo/internal/control"
+)
+
+// This file is the public face of the self-tuning subsystem
+// (internal/control): a background controller that watches the allocator's
+// own metrics — lock traffic, per-class occupancy, footprint vs live bytes,
+// superblock migration — and retunes the empty fraction f, the slack K,
+// per-size-class magazine capacities, and the scavenger's pacing. See
+// DESIGN.md §14.
+
+// ControlConfig configures the self-tuning controller. The zero value is
+// disabled; setting Enabled with all other fields zero runs the documented
+// defaults (50ms ticks, 4-tick per-knob cooldown, 256-entry decision log).
+type ControlConfig struct {
+	// Enabled starts the controller with New. (It can also be started
+	// later with StartController.)
+	Enabled bool
+
+	// Interval is the tick period.
+	Interval time.Duration
+
+	// MinOpsPerTick gates rule evaluation: a tick observing fewer
+	// malloc+free operations is idle and moves nothing.
+	MinOpsPerTick int64
+
+	// CooldownTicks is how many non-idle ticks a knob rests after a change
+	// before it may move again — the anti-flapping hysteresis.
+	CooldownTicks int
+
+	// LogSize bounds the retained decision log.
+	LogSize int
+
+	// Manual pins knobs to fixed values; the controller's rules skip a
+	// pinned knob and instead drive it to the pinned value. Knob names are
+	// the ones ControllerStats reports: "empty_fraction", "slack_k",
+	// "magazine_capacity" (all classes) or "magazine_capacity/512" (one
+	// class), "scavenger_high_water_bytes", "scavenger_bytes_per_sec".
+	Manual map[string]float64
+}
+
+func (c ControlConfig) internal() control.Config {
+	return control.Config{
+		Interval:      c.Interval,
+		MinOpsPerTick: c.MinOpsPerTick,
+		CooldownTicks: c.CooldownTicks,
+		LogSize:       c.LogSize,
+		Manual:        c.Manual,
+	}
+}
+
+// ControllerDecision is one knob change the controller applied.
+type ControllerDecision struct {
+	// WhenNS is the decision's UnixNano timestamp.
+	WhenNS int64
+	// Knob names what moved; Old and New are the values before and after.
+	Knob     string
+	Old, New float64
+	// Reason is the human-readable rule trigger ("lock traffic high ...").
+	Reason string
+}
+
+// ControllerStats is a snapshot of the self-tuning controller's activity.
+type ControllerStats struct {
+	// Ticks counts controller loop iterations; IdleTicks the subset that
+	// saw too little traffic to act; Decisions the knob changes applied.
+	Ticks, IdleTicks, Decisions int64
+	// Knobs maps knob name to its value as of the last tick.
+	Knobs map[string]float64
+	// Log is the retained decision history, oldest first.
+	Log []ControllerDecision
+}
+
+// StartController launches the background self-tuning controller. It errors
+// for non-Hoard policies and when a controller is already running.
+//
+// The controller tunes what it can see: magazine capacities only with a
+// thread cache layered (Config.ThreadCacheCapacity), and the
+// lock-contention signals only with Config.Metrics set — without the lock
+// counters the contention-driven rules simply never fire. Scavenger pacing
+// is always tunable; a scavenger started later runs with the tuned values.
+func (a *Allocator) StartController() error {
+	h := a.unwrap()
+	if h == nil {
+		return fmt.Errorf("hoard: policy %q does not support self-tuning", a.impl.Name())
+	}
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	if a.ctl != nil && a.ctl.Running() {
+		return fmt.Errorf("hoard: controller already running")
+	}
+	if a.ctl == nil {
+		// scavHandle builds (without starting) the scavenger if needed, so
+		// the controller can tune pacing that a later StartScavenger will
+		// run with.
+		scav, _ := a.scavHandle()
+		target := control.NewCoreTarget(h, a.tcacheLayer(), scav, a.reg)
+		a.ctl = control.NewController(target, a.ctlCfg)
+	}
+	a.ctl.Start()
+	return nil
+}
+
+// StopController halts the background controller and waits for its
+// goroutine to exit, returning the activity snapshot. With no controller
+// running it returns zeros.
+func (a *Allocator) StopController() ControllerStats {
+	a.ctlMu.Lock()
+	ctl := a.ctl
+	a.ctlMu.Unlock()
+	if ctl == nil {
+		return ControllerStats{}
+	}
+	ctl.Stop()
+	return a.ControllerStats()
+}
+
+// ControllerStats snapshots the controller's counters, current knob values,
+// and decision log (zeros if it was never started). The controller may be
+// running.
+func (a *Allocator) ControllerStats() ControllerStats {
+	a.ctlMu.Lock()
+	ctl := a.ctl
+	a.ctlMu.Unlock()
+	if ctl == nil {
+		return ControllerStats{}
+	}
+	st := ctl.Stats()
+	out := ControllerStats{
+		Ticks:     st.Ticks,
+		IdleTicks: st.IdleTicks,
+		Decisions: st.Decisions,
+		Knobs:     st.Knobs.Map(),
+	}
+	for _, d := range st.Log {
+		out.Log = append(out.Log, ControllerDecision(d))
+	}
+	return out
+}
+
+// controller returns the live controller handle, or nil.
+func (a *Allocator) controller() *control.Controller {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.ctl
+}

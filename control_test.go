@@ -1,0 +1,177 @@
+package hoard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hoardgo/internal/core"
+)
+
+// detunedControlConfig is the bad-static-knobs starting point the controller
+// must dig out of: an eviction policy so aggressive every superblock with a
+// free block gets parked on the global heap, and four-block magazines.
+func detunedControlConfig() Config {
+	return Config{
+		Procs:               2,
+		Metrics:             true,
+		ThreadCacheCapacity: 4,
+		Hoard:               core.Config{EmptyFraction: 0.05, K: core.KNone},
+		Control: ControlConfig{
+			Enabled:       true,
+			Interval:      time.Millisecond,
+			CooldownTicks: 2,
+			MinOpsPerTick: 32,
+		},
+	}
+}
+
+// controlChurn runs allocate/free traffic until stop is closed.
+func controlChurn(a *Allocator, stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	th := a.NewThread()
+	var ps []Ptr
+	for {
+		select {
+		case <-stop:
+			for _, p := range ps {
+				th.Free(p)
+			}
+			return
+		default:
+		}
+		ps = append(ps, th.Malloc(16+len(ps)%800))
+		if len(ps) >= 256 {
+			for _, p := range ps {
+				th.Free(p)
+			}
+			ps = ps[:0]
+		}
+	}
+}
+
+func TestControllerPublicLifecycle(t *testing.T) {
+	a := MustNew(detunedControlConfig())
+	defer a.Close()
+
+	// Config.Control.Enabled started it inside New; a second start is an
+	// error while it runs.
+	if err := a.StartController(); err == nil {
+		t.Fatal("second StartController accepted while running")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go controlChurn(a, stop, &wg)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for a.ControllerStats().Decisions == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	cs := a.StopController()
+	if cs.Ticks == 0 {
+		t.Fatal("controller never ticked")
+	}
+	if cs.Decisions == 0 {
+		t.Fatal("controller made no decisions against detuned knobs under churn")
+	}
+	if len(cs.Log) == 0 || len(cs.Knobs) == 0 {
+		t.Fatalf("empty decision log (%d) or knob map (%d)", len(cs.Log), len(cs.Knobs))
+	}
+	for _, d := range cs.Log {
+		if d.Knob == "" || d.Reason == "" || d.WhenNS == 0 {
+			t.Fatalf("malformed decision %+v", d)
+		}
+	}
+	// The detuned magazines must have widened: some magazine_capacity knob
+	// above the starting 4.
+	widened := false
+	for k, v := range cs.Knobs {
+		if strings.HasPrefix(k, "magazine_capacity") && v > 4 {
+			widened = true
+		}
+	}
+	if !widened {
+		t.Fatalf("no magazine widened from capacity 4; knobs: %v", cs.Knobs)
+	}
+
+	// Stopped: a second Stop is a harmless snapshot, restart works, and the
+	// restarted controller keeps its tuned knob state.
+	if again := a.StopController(); again.Ticks != cs.Ticks {
+		t.Fatalf("second StopController ticks %d != %d", again.Ticks, cs.Ticks)
+	}
+	if err := a.StartController(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	a.StopController()
+
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerRequiresHoardPolicy(t *testing.T) {
+	a := MustNew(Config{Policy: PolicySerial})
+	defer a.Close()
+	if err := a.StartController(); err == nil {
+		t.Fatal("StartController accepted on the serial policy")
+	}
+	if cs := a.StopController(); cs.Ticks != 0 || cs.Decisions != 0 {
+		t.Fatalf("non-zero stats with no controller: %+v", cs)
+	}
+}
+
+// TestControllerMetricsLintUnderLoad scrapes the Prometheus exposition while
+// the controller and churn workers are live: every scrape must lint, and the
+// controller families must appear once the controller has ticked.
+func TestControllerMetricsLintUnderLoad(t *testing.T) {
+	a := MustNew(detunedControlConfig())
+	defer a.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go controlChurn(a, stop, &wg)
+	}
+
+	var last string
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := a.WriteMetrics(&b); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if err := LintMetrics(b.String()); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d lint: %v\n%s", i, err, b.String())
+		}
+		last = b.String()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, want := range []string{
+		"hoard_controller_ticks_total",
+		"hoard_controller_idle_ticks_total",
+		"hoard_controller_decisions_total",
+		"hoard_controller_knob",
+	} {
+		if !strings.Contains(last, want) {
+			t.Fatalf("missing controller family %q in scrape:\n%s", want, last)
+		}
+	}
+	a.StopController()
+	if err := a.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

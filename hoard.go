@@ -34,6 +34,7 @@ import (
 	"hoardgo/internal/alloc"
 	"hoardgo/internal/allocators"
 	"hoardgo/internal/concurrent"
+	"hoardgo/internal/control"
 	"hoardgo/internal/core"
 	"hoardgo/internal/debugalloc"
 	"hoardgo/internal/dlheap"
@@ -142,6 +143,11 @@ type Config struct {
 	// of long-empty superblocks parked on the global heap to the (simulated)
 	// OS. Hoard policy only; see ScavengeConfig. Disabled by default.
 	Scavenge ScavengeConfig
+
+	// Control configures the self-tuning controller, which retunes f, K,
+	// magazine capacities, and scavenger pacing from the live metrics
+	// timeline. Hoard policy only; see ControlConfig. Disabled by default.
+	Control ControlConfig
 }
 
 // Allocator is a thread-safe explicit memory allocator.
@@ -163,6 +169,12 @@ type Allocator struct {
 	scavMu  sync.Mutex
 	scav    *scavenge.Scavenger
 	scavCfg scavenge.Config
+
+	// ctlMu guards the self-tuning controller handle (StartController /
+	// StopController); ctlCfg is the internal form of Config.Control.
+	ctlMu  sync.Mutex
+	ctl    *control.Controller
+	ctlCfg control.Config
 }
 
 // New builds an allocator from cfg.
@@ -232,9 +244,18 @@ func New(cfg Config) (*Allocator, error) {
 	if err := scavCfg.Validate(); err != nil {
 		return nil, fmt.Errorf("hoard: %w", err)
 	}
-	a := &Allocator{impl: impl, reg: reg, scavCfg: scavCfg}
+	ctlCfg := cfg.Control.internal()
+	if err := ctlCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("hoard: %w", err)
+	}
+	a := &Allocator{impl: impl, reg: reg, scavCfg: scavCfg, ctlCfg: ctlCfg}
 	if cfg.Scavenge.Enabled {
 		if err := a.StartScavenger(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Control.Enabled {
+		if err := a.StartController(); err != nil {
 			return nil, err
 		}
 	}
@@ -485,13 +506,15 @@ func (a *Allocator) BackendFallbackReason() string {
 	return ""
 }
 
-// Close stops the background scavenger and auditor (if running) and
+// Close stops the background controller, scavenger, and auditor (if
+// running) and
 // releases the memory substrate: for the arena backend this unmaps its
 // virtual reservation, for the simulated backend it is a no-op. The
 // allocator must be quiescent and must not be used afterwards. Close is the
 // only way an arena's address space is returned to the OS — Go finalizers
 // cannot reclaim it.
 func (a *Allocator) Close() error {
+	a.StopController()
 	a.StopScavenger()
 	a.StopAuditor()
 	return a.impl.Space().Close()

@@ -1,0 +1,809 @@
+// Package control is the closed-loop self-tuning layer: a background
+// controller that reads the allocator's own observability signals — lock
+// traffic, per-class occupancy, footprint vs live bytes, superblock
+// migration — and retunes the knobs the paper leaves as hand-picked
+// constants: the empty fraction f, the slack K, per-size-class magazine
+// capacities, and the scavenger's pacing watermarks and rate.
+//
+// The design splits three ways so every piece is testable on its own:
+//
+//   - Tuner is the pure decision engine: given two consecutive Samples and
+//     the current Knobs it derives Signals (rates per operation, not raw
+//     counters) and emits bounded Decisions. It holds no goroutine and no
+//     allocator reference, so table-driven tests feed it synthetic samples.
+//   - Target is the actuation surface: Sample/Knobs to read, Apply to write.
+//     CoreTarget (target.go) adapts a real allocator stack.
+//   - Controller wraps a Tuner and a Target in a background goroutine with
+//     idempotent Start/Stop (the scavenger's lifecycle pattern) and a
+//     decision-log ring buffer exported through the metrics layer.
+//
+// Stability comes from three mechanisms, not from tuning luck: every rule is
+// AIMD-shaped with an engage threshold strictly above its disengage
+// threshold (a workload sitting between them moves nothing), every knob has
+// a hard clamp range, and every change starts a per-knob cooldown so the
+// same knob cannot move again — in either direction — for CooldownTicks
+// ticks. A knob can therefore flap only if the workload itself swings across
+// both thresholds slower than the cooldown, which is a genuine regime change
+// rather than controller noise.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Knob names. Magazine capacities are per size class, so their knob names
+// carry the block size as a suffix: "magazine_capacity/512".
+const (
+	KnobEmptyFraction = "empty_fraction"
+	KnobSlackK        = "slack_k"
+	KnobMagCapacity   = "magazine_capacity"
+	KnobScavHighWater = "scavenger_high_water_bytes"
+	KnobScavRate      = "scavenger_bytes_per_sec"
+)
+
+// MagKnob returns the per-class magazine knob name for a block size.
+func MagKnob(blockSize int) string {
+	return fmt.Sprintf("%s/%d", KnobMagCapacity, blockSize)
+}
+
+// ClassStat is one size class's occupancy aggregated over every heap,
+// counting only superblocks that hold at least one live block (parked
+// empties are the scavenger backlog signal, not fragmentation).
+type ClassStat struct {
+	// BlockSize identifies the class (core and tcache may index their
+	// tables differently, so block size — not class index — is the join
+	// key everywhere in this package).
+	BlockSize int
+	// Superblocks holds the class's superblock count; HeldBytes is
+	// Superblocks times S and InUseBytes the bytes allocated from them.
+	Superblocks int
+	HeldBytes   int64
+	InUseBytes  int64
+}
+
+// Sample is one reading of the allocator, all cumulative counters unless
+// noted. The Tuner differences consecutive samples, so absolute values only
+// matter for the gauges.
+type Sample struct {
+	WhenNS int64
+	// Operation counters.
+	Mallocs, Frees int64
+	// Migration counters: superblock evictions to the global heap and
+	// mallocs served by taking a superblock back from it — together the
+	// take/evict ping-pong rate.
+	SuperblockMoves int64
+	GlobalHeapHits  int64
+	RemoteFrees     int64
+	// Magazine transfer counters: a thread cache's refills and flushes.
+	// Their per-op rate is the direct read on magazine capacity — on a
+	// core whose warm paths are lock-free, undersized magazines cost
+	// batch transfers, not necessarily lock acquisitions.
+	BatchRefills int64
+	BatchFlushes int64
+	// Reclamation counters from the vm layer.
+	Decommits int64
+	Recommits int64
+	// Gauges.
+	LiveBytes        int64
+	FootprintBytes   int64
+	GlobalEmptyBytes int64 // scavengable backlog; -1 when unreadable this tick
+	// Lock counters, split global heap (heap 0) vs per-processor heaps.
+	HeapAcquires    int64
+	HeapContended   int64
+	GlobalAcquires  int64
+	GlobalContended int64
+	// Classes is the per-class occupancy (gauge).
+	Classes []ClassStat
+}
+
+// Knobs is the currently-in-force value of every tunable knob.
+type Knobs struct {
+	EmptyFraction float64
+	SlackK        int
+	// MagCapacity maps block size to magazine capacity; nil when no
+	// thread cache is layered.
+	MagCapacity map[int]int
+	// Scavenger pacing; zero when no scavenger is running.
+	ScavHighWater int64
+	ScavLowWater  int64
+	ScavRate      int64
+	ScavBurst     int64
+}
+
+// Map flattens the knob set into name→value form for export (metrics,
+// public stats). Scavenger knobs are omitted when no scavenger is wired.
+func (k Knobs) Map() map[string]float64 {
+	m := map[string]float64{
+		KnobEmptyFraction: k.EmptyFraction,
+		KnobSlackK:        float64(k.SlackK),
+	}
+	for bs, c := range k.MagCapacity {
+		m[MagKnob(bs)] = float64(c)
+	}
+	if k.ScavHighWater > 0 {
+		m[KnobScavHighWater] = float64(k.ScavHighWater)
+	}
+	if k.ScavRate > 0 {
+		m[KnobScavRate] = float64(k.ScavRate)
+	}
+	return m
+}
+
+// Decision is one knob change (or manual pin) the controller decided on.
+type Decision struct {
+	WhenNS int64   `json:"when_ns"`
+	Knob   string  `json:"knob"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Reason string  `json:"reason"`
+}
+
+// Signals are the derived per-tick rates the rules read; exported so tests
+// and the decision log can assert on what the controller saw.
+type Signals struct {
+	// Ops is mallocs+frees this tick.
+	Ops int64 `json:"ops"`
+	// HeapContention is contended acquisitions over acquisitions on the
+	// per-processor heap locks.
+	HeapContention float64 `json:"heap_contention"`
+	// LockRate is heap-lock acquisitions (all heaps) per operation — the
+	// signal that still works when one CPU serializes everything and
+	// contention never shows.
+	LockRate float64 `json:"lock_rate"`
+	// PingPong is (superblock moves + global-heap takes) per operation.
+	PingPong float64 `json:"ping_pong"`
+	// FootprintRatio is committed footprint over live bytes.
+	FootprintRatio float64 `json:"footprint_ratio"`
+	// RemoteRate is remote frees per operation.
+	RemoteRate float64 `json:"remote_rate"`
+	// RefillRate is magazine batch transfers (refills + flushes) per
+	// operation — with capacity C it sits near 2/C under churn, so a high
+	// rate reads directly as "magazines too small for this workload".
+	RefillRate float64 `json:"refill_rate"`
+	// RecommitChurn is recommits over decommits this tick — near 1 means
+	// the scavenger is releasing pages the workload takes right back.
+	RecommitChurn float64 `json:"recommit_churn"`
+	// Backlog is the scavengable empty-superblock bytes on the global heap.
+	Backlog int64 `json:"backlog"`
+	// ClassFrag maps block size to 1 - InUse/Held, the class's internal
+	// fragmentation.
+	ClassFrag map[int]float64 `json:"class_frag,omitempty"`
+}
+
+// Config parameterizes the controller. The zero value selects the
+// documented defaults.
+type Config struct {
+	// Interval is the tick period. Default 50ms.
+	Interval time.Duration
+	// MinOpsPerTick gates rule evaluation: a tick observing fewer
+	// operations is idle — rates over a handful of ops are noise. Default
+	// 64.
+	MinOpsPerTick int64
+	// CooldownTicks is how many non-idle ticks a knob rests after a
+	// change before it may move again. Default 4.
+	CooldownTicks int
+	// LogSize is the decision ring-buffer capacity. Default 256.
+	LogSize int
+
+	// Clamp ranges.
+	MinEmptyFraction float64 // default 0.10
+	MaxEmptyFraction float64 // default 0.90
+	MinSlackK        int     // default 0
+	MaxSlackK        int     // default 8
+	MinMagCapacity   int     // default 4
+	MaxMagCapacity   int     // default 256
+	MinScavHighWater int64   // default 32 KiB
+	MaxScavHighWater int64   // default 16 MiB
+	MinScavRate      int64   // default 1 MiB/s
+	MaxScavRate      int64   // default 1 GiB/s
+
+	// Rule thresholds. Each High* engages a rule; its Low* counterpart is
+	// the disengage band for the opposite direction — the gap between them
+	// is the hysteresis dead zone.
+	HighContention float64 // default 0.08
+	LowContention  float64 // default 0.02
+	HighLockRate   float64 // default 0.10
+	LowLockRate    float64 // default 0.03
+	// Refill bands are set around the magazine geometry: steady-state
+	// churn through capacity-C magazines transfers at roughly 2/C per op,
+	// so 0.04 keeps the widen rule pushing until C ~ 64 and 0.01 lets the
+	// shrink rule engage only once transfers have essentially stopped.
+	HighRefillRate    float64 // default 0.04
+	LowRefillRate     float64 // default 0.01
+	LowFragmentation  float64 // default 0.25
+	HighFragmentation float64 // default 0.60
+	HighPingPong      float64 // default 0.01
+	LowPingPong       float64 // default 0.002
+	HighFootprint     float64 // default 2.0
+	LowFootprint      float64 // default 1.5
+	HighRecommitChurn float64 // default 0.5
+	// MinLiveBytes gates the footprint-ratio rules: with almost nothing
+	// live the ratio is meaningless (a drained allocator legitimately
+	// holds its warm reserve). Default 64 KiB.
+	MinLiveBytes int64
+
+	// Manual pins knobs to fixed values: rules skip a pinned knob and the
+	// controller drives it to the pinned value instead (one decision with
+	// reason "manual pin" when it drifts). Pin "magazine_capacity" to pin
+	// every class at once, or "magazine_capacity/512" for one class.
+	Manual map[string]float64
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (c Config) WithDefaults() Config {
+	def := func(f *float64, v float64) {
+		if *f == 0 {
+			*f = v
+		}
+	}
+	if c.Interval == 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MinOpsPerTick == 0 {
+		c.MinOpsPerTick = 64
+	}
+	if c.CooldownTicks == 0 {
+		c.CooldownTicks = 4
+	}
+	if c.LogSize == 0 {
+		c.LogSize = 256
+	}
+	def(&c.MinEmptyFraction, 0.10)
+	def(&c.MaxEmptyFraction, 0.90)
+	if c.MaxSlackK == 0 {
+		c.MaxSlackK = 8
+	}
+	if c.MinMagCapacity == 0 {
+		c.MinMagCapacity = 4
+	}
+	if c.MaxMagCapacity == 0 {
+		c.MaxMagCapacity = 256
+	}
+	if c.MinScavHighWater == 0 {
+		c.MinScavHighWater = 32 << 10
+	}
+	if c.MaxScavHighWater == 0 {
+		c.MaxScavHighWater = 16 << 20
+	}
+	if c.MinScavRate == 0 {
+		c.MinScavRate = 1 << 20
+	}
+	if c.MaxScavRate == 0 {
+		c.MaxScavRate = 1 << 30
+	}
+	def(&c.HighContention, 0.08)
+	def(&c.LowContention, 0.02)
+	def(&c.HighLockRate, 0.10)
+	def(&c.LowLockRate, 0.03)
+	def(&c.HighRefillRate, 0.04)
+	def(&c.LowRefillRate, 0.01)
+	def(&c.LowFragmentation, 0.25)
+	def(&c.HighFragmentation, 0.60)
+	def(&c.HighPingPong, 0.01)
+	def(&c.LowPingPong, 0.002)
+	def(&c.HighFootprint, 2.0)
+	def(&c.LowFootprint, 1.5)
+	def(&c.HighRecommitChurn, 0.5)
+	if c.MinLiveBytes == 0 {
+		c.MinLiveBytes = 64 << 10
+	}
+	return c
+}
+
+// Validate rejects configurations the rules cannot run.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.MinEmptyFraction <= 0 || c.MaxEmptyFraction >= 1 || c.MinEmptyFraction > c.MaxEmptyFraction {
+		return fmt.Errorf("control: empty-fraction clamp [%v,%v] out of (0,1)", c.MinEmptyFraction, c.MaxEmptyFraction)
+	}
+	if c.MinSlackK < 0 || c.MinSlackK > c.MaxSlackK {
+		return fmt.Errorf("control: slack clamp [%d,%d] invalid", c.MinSlackK, c.MaxSlackK)
+	}
+	if c.MinMagCapacity < 2 || c.MinMagCapacity > c.MaxMagCapacity {
+		return fmt.Errorf("control: magazine clamp [%d,%d] invalid", c.MinMagCapacity, c.MaxMagCapacity)
+	}
+	if c.LowContention > c.HighContention || c.LowLockRate > c.HighLockRate ||
+		c.LowRefillRate > c.HighRefillRate ||
+		c.LowFragmentation > c.HighFragmentation || c.LowPingPong > c.HighPingPong ||
+		c.LowFootprint > c.HighFootprint {
+		return fmt.Errorf("control: a disengage threshold sits above its engage threshold")
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("control: interval %v", c.Interval)
+	}
+	return nil
+}
+
+// Tuner is the pure decision engine. Not safe for concurrent use — the
+// Controller goroutine (or a test) owns it.
+type Tuner struct {
+	cfg      Config
+	prev     Sample
+	havePrev bool
+	cooldown map[string]int
+}
+
+// NewTuner builds a Tuner over the (default-filled) config; it panics on an
+// invalid config, like core.New.
+func NewTuner(cfg Config) *Tuner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tuner{cfg: cfg.WithDefaults(), cooldown: map[string]int{}}
+}
+
+// Config returns the default-filled configuration the tuner runs.
+func (t *Tuner) Config() Config { return t.cfg }
+
+// pinned returns the manual pin for a knob, with the all-classes magazine
+// pin covering every per-class magazine knob.
+func (t *Tuner) pinned(knob string) (float64, bool) {
+	if v, ok := t.cfg.Manual[knob]; ok {
+		return v, true
+	}
+	if len(knob) > len(KnobMagCapacity) && knob[:len(KnobMagCapacity)] == KnobMagCapacity {
+		if v, ok := t.cfg.Manual[KnobMagCapacity]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// signals derives the per-tick rates from two consecutive samples.
+func (t *Tuner) signals(prev, now Sample) Signals {
+	sig := Signals{
+		Ops:     (now.Mallocs + now.Frees) - (prev.Mallocs + prev.Frees),
+		Backlog: now.GlobalEmptyBytes,
+	}
+	ops := float64(sig.Ops)
+	if ops <= 0 {
+		ops = 1
+	}
+	if dAcq := now.HeapAcquires - prev.HeapAcquires; dAcq > 0 {
+		sig.HeapContention = float64(now.HeapContended-prev.HeapContended) / float64(dAcq)
+	}
+	dAll := (now.HeapAcquires + now.GlobalAcquires) - (prev.HeapAcquires + prev.GlobalAcquires)
+	sig.LockRate = float64(dAll) / ops
+	sig.PingPong = float64((now.SuperblockMoves+now.GlobalHeapHits)-
+		(prev.SuperblockMoves+prev.GlobalHeapHits)) / ops
+	sig.RemoteRate = float64(now.RemoteFrees-prev.RemoteFrees) / ops
+	sig.RefillRate = float64((now.BatchRefills+now.BatchFlushes)-
+		(prev.BatchRefills+prev.BatchFlushes)) / ops
+	if now.LiveBytes > 0 {
+		sig.FootprintRatio = float64(now.FootprintBytes) / float64(now.LiveBytes)
+	}
+	if dDec := now.Decommits - prev.Decommits; dDec > 0 {
+		sig.RecommitChurn = float64(now.Recommits-prev.Recommits) / float64(dDec)
+	}
+	sig.ClassFrag = map[int]float64{}
+	for _, cs := range now.Classes {
+		if cs.HeldBytes > 0 {
+			sig.ClassFrag[cs.BlockSize] = 1 - float64(cs.InUseBytes)/float64(cs.HeldBytes)
+		}
+	}
+	return sig
+}
+
+// Decide consumes one sample and emits this tick's decisions. idle reports
+// whether the tick was skipped for lack of traffic (the first sample and
+// quiet periods); idle ticks emit only manual-pin corrections and do not
+// advance cooldowns, so a bursty workload gets the same hysteresis schedule
+// as a steady one. The returned Signals are zero on idle ticks.
+func (t *Tuner) Decide(now Sample, k Knobs) (ds []Decision, sig Signals, idle bool) {
+	ds = t.pinCorrections(now.WhenNS, k)
+	if !t.havePrev {
+		t.prev, t.havePrev = now, true
+		return ds, Signals{}, true
+	}
+	prev := t.prev
+	t.prev = now
+	sig = t.signals(prev, now)
+	if sig.Ops < t.cfg.MinOpsPerTick {
+		return ds, Signals{}, true
+	}
+	for knob := range t.cooldown {
+		if t.cooldown[knob] > 0 {
+			t.cooldown[knob]--
+		}
+	}
+	ds = append(ds, t.decideMagazines(now.WhenNS, sig, k)...)
+	if d, ok := t.decideSlackK(now.WhenNS, sig, k); ok {
+		ds = append(ds, d)
+	}
+	if d, ok := t.decideEmptyFraction(now.WhenNS, sig, k); ok {
+		ds = append(ds, d)
+	}
+	ds = append(ds, t.decideScavenger(now.WhenNS, sig, k)...)
+	return ds, sig, false
+}
+
+// pinCorrections drives manually-pinned knobs to their pinned values.
+func (t *Tuner) pinCorrections(whenNS int64, k Knobs) []Decision {
+	if len(t.cfg.Manual) == 0 {
+		return nil
+	}
+	var ds []Decision
+	add := func(knob string, cur float64) {
+		if want, ok := t.pinned(knob); ok && want != cur {
+			ds = append(ds, Decision{WhenNS: whenNS, Knob: knob, Old: cur, New: want, Reason: "manual pin"})
+		}
+	}
+	add(KnobEmptyFraction, k.EmptyFraction)
+	add(KnobSlackK, float64(k.SlackK))
+	for _, bs := range sortedSizes(k.MagCapacity) {
+		add(MagKnob(bs), float64(k.MagCapacity[bs]))
+	}
+	if k.ScavHighWater > 0 {
+		add(KnobScavHighWater, float64(k.ScavHighWater))
+	}
+	if k.ScavRate > 0 {
+		add(KnobScavRate, float64(k.ScavRate))
+	}
+	return ds
+}
+
+// ready reports whether a knob may move this tick: not pinned, not cooling
+// down. Emitting through emit() starts the cooldown.
+func (t *Tuner) ready(knob string) bool {
+	if _, ok := t.pinned(knob); ok {
+		return false
+	}
+	return t.cooldown[knob] == 0
+}
+
+func (t *Tuner) emit(whenNS int64, knob string, old, new float64, reason string) Decision {
+	t.cooldown[knob] = t.cfg.CooldownTicks
+	return Decision{WhenNS: whenNS, Knob: knob, Old: old, New: new, Reason: reason}
+}
+
+// decideMagazines applies the AIMD magazine rule per cached class: double
+// the capacity while magazine traffic into the core is expensive — heap
+// locks contended, heap locks frequent per op, or batch refill/flush churn
+// high (the signal that survives a lock-free core); halve it when the
+// class's occupancy samples show mostly-empty superblocks and all three are
+// quiet. Widening is not frag-gated: its worst case is bounded by the
+// MaxMagCapacity clamp and undone by the shrink rule once traffic quiets,
+// whereas a frag veto would deadlock the controller in exactly the detuned
+// regime it exists for (tiny magazines churning a small live set look
+// fragmented by construction). Only classes with at least one non-empty
+// superblock are considered — an unused class has no evidence either way.
+func (t *Tuner) decideMagazines(whenNS int64, sig Signals, k Knobs) []Decision {
+	if len(k.MagCapacity) == 0 {
+		return nil
+	}
+	var ds []Decision
+	lockHot := sig.HeapContention > t.cfg.HighContention || sig.LockRate > t.cfg.HighLockRate ||
+		sig.RefillRate > t.cfg.HighRefillRate
+	lockQuiet := sig.HeapContention < t.cfg.LowContention && sig.LockRate < t.cfg.LowLockRate &&
+		sig.RefillRate < t.cfg.LowRefillRate
+	for _, bs := range sortedSizes(k.MagCapacity) {
+		frag, sampled := sig.ClassFrag[bs]
+		if !sampled {
+			continue
+		}
+		knob := MagKnob(bs)
+		if !t.ready(knob) {
+			continue
+		}
+		cap := k.MagCapacity[bs]
+		switch {
+		case lockHot && cap < t.cfg.MaxMagCapacity:
+			next := clampInt(cap*2, t.cfg.MinMagCapacity, t.cfg.MaxMagCapacity)
+			ds = append(ds, t.emit(whenNS, knob, float64(cap), float64(next),
+				fmt.Sprintf("transfer traffic high (contention %.3f, locks/op %.3f, refills/op %.3f): widen", sig.HeapContention, sig.LockRate, sig.RefillRate)))
+		case lockQuiet && frag > t.cfg.HighFragmentation && cap > t.cfg.MinMagCapacity:
+			next := clampInt(cap/2, t.cfg.MinMagCapacity, t.cfg.MaxMagCapacity)
+			ds = append(ds, t.emit(whenNS, knob, float64(cap), float64(next),
+				fmt.Sprintf("class frag %.2f high, lock traffic quiet: shrink", frag)))
+		}
+	}
+	return ds
+}
+
+// decideSlackK raises K when take/evict ping-pong dominates (each extra
+// superblock of slack stops one eviction round-trip) and lowers it when
+// committed memory has pulled away from live bytes while ping-pong is quiet
+// (the slack is just parking memory).
+func (t *Tuner) decideSlackK(whenNS int64, sig Signals, k Knobs) (Decision, bool) {
+	if !t.ready(KnobSlackK) {
+		return Decision{}, false
+	}
+	switch {
+	case sig.PingPong > t.cfg.HighPingPong && k.SlackK < t.cfg.MaxSlackK:
+		return t.emit(whenNS, KnobSlackK, float64(k.SlackK), float64(k.SlackK+1),
+			fmt.Sprintf("ping-pong %.4f/op high: raise K", sig.PingPong)), true
+	case sig.FootprintRatio > t.cfg.HighFootprint && sig.PingPong < t.cfg.LowPingPong &&
+		k.SlackK > t.cfg.MinSlackK && t.footprintMeaningful():
+		return t.emit(whenNS, KnobSlackK, float64(k.SlackK), float64(k.SlackK-1),
+			fmt.Sprintf("footprint %.2fx live, ping-pong quiet: lower K", sig.FootprintRatio)), true
+	}
+	return Decision{}, false
+}
+
+// decideEmptyFraction moves f additively up (a higher f makes eviction
+// pickier, cutting migration churn) while footprint is healthy, and
+// multiplicatively down when committed memory diverges from live bytes —
+// the classic AIMD asymmetry: drift gently toward less synchronization,
+// back off fast when memory is the problem.
+func (t *Tuner) decideEmptyFraction(whenNS int64, sig Signals, k Knobs) (Decision, bool) {
+	if !t.ready(KnobEmptyFraction) {
+		return Decision{}, false
+	}
+	switch {
+	case sig.PingPong > t.cfg.HighPingPong && sig.FootprintRatio < t.cfg.LowFootprint &&
+		k.EmptyFraction < t.cfg.MaxEmptyFraction:
+		next := clampF(k.EmptyFraction+0.05, t.cfg.MinEmptyFraction, t.cfg.MaxEmptyFraction)
+		return t.emit(whenNS, KnobEmptyFraction, k.EmptyFraction, next,
+			fmt.Sprintf("ping-pong %.4f/op high, footprint %.2fx healthy: raise f", sig.PingPong, sig.FootprintRatio)), true
+	case sig.FootprintRatio > t.cfg.HighFootprint && k.EmptyFraction > t.cfg.MinEmptyFraction &&
+		t.footprintMeaningful():
+		next := clampF(k.EmptyFraction*0.75, t.cfg.MinEmptyFraction, t.cfg.MaxEmptyFraction)
+		return t.emit(whenNS, KnobEmptyFraction, k.EmptyFraction, next,
+			fmt.Sprintf("footprint %.2fx live: lower f", sig.FootprintRatio)), true
+	}
+	return Decision{}, false
+}
+
+// footprintMeaningful reports whether the last sample carried enough live
+// bytes for the footprint ratio to mean anything.
+func (t *Tuner) footprintMeaningful() bool {
+	return t.prev.LiveBytes >= t.cfg.MinLiveBytes
+}
+
+// decideScavenger halves the high watermark (and doubles the release rate)
+// when footprint has diverged and a backlog of scavengable empties sits
+// above the watermark — the pages are right there, release them sooner and
+// faster — and doubles the watermark (halving the rate) when recommit churn
+// shows the scavenger releasing pages the workload immediately takes back.
+func (t *Tuner) decideScavenger(whenNS int64, sig Signals, k Knobs) []Decision {
+	if k.ScavHighWater <= 0 {
+		return nil
+	}
+	var ds []Decision
+	bloat := sig.FootprintRatio > t.cfg.HighFootprint && t.footprintMeaningful() &&
+		sig.Backlog > k.ScavHighWater
+	churn := sig.RecommitChurn > t.cfg.HighRecommitChurn
+	if t.ready(KnobScavHighWater) {
+		switch {
+		case bloat && k.ScavHighWater > t.cfg.MinScavHighWater:
+			next := clamp64(k.ScavHighWater/2, t.cfg.MinScavHighWater, t.cfg.MaxScavHighWater)
+			ds = append(ds, t.emit(whenNS, KnobScavHighWater, float64(k.ScavHighWater), float64(next),
+				fmt.Sprintf("footprint %.2fx live with %d B backlog: lower watermark", sig.FootprintRatio, sig.Backlog)))
+		case churn && k.ScavHighWater < t.cfg.MaxScavHighWater:
+			next := clamp64(k.ScavHighWater*2, t.cfg.MinScavHighWater, t.cfg.MaxScavHighWater)
+			ds = append(ds, t.emit(whenNS, KnobScavHighWater, float64(k.ScavHighWater), float64(next),
+				fmt.Sprintf("recommit churn %.2f: raise watermark", sig.RecommitChurn)))
+		}
+	}
+	if k.ScavRate > 0 && t.ready(KnobScavRate) {
+		switch {
+		case bloat && k.ScavRate < t.cfg.MaxScavRate:
+			next := clamp64(k.ScavRate*2, t.cfg.MinScavRate, t.cfg.MaxScavRate)
+			ds = append(ds, t.emit(whenNS, KnobScavRate, float64(k.ScavRate), float64(next),
+				"backlog under bloat: raise release rate"))
+		case churn && k.ScavRate > t.cfg.MinScavRate:
+			next := clamp64(k.ScavRate/2, t.cfg.MinScavRate, t.cfg.MaxScavRate)
+			ds = append(ds, t.emit(whenNS, KnobScavRate, float64(k.ScavRate), float64(next),
+				fmt.Sprintf("recommit churn %.2f: lower release rate", sig.RecommitChurn)))
+		}
+	}
+	return ds
+}
+
+func sortedSizes(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for bs := range m {
+		out = append(out, bs)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Target is the allocator surface the controller drives. Sample and Knobs
+// read; Apply actuates one decision, reporting whether it took effect (an
+// Apply can fail when e.g. the decision names a class the cache does not
+// have — the controller drops such decisions from the log).
+type Target interface {
+	Sample() Sample
+	Knobs() Knobs
+	Apply(d Decision) bool
+}
+
+// Stats is a snapshot of a Controller's activity.
+type Stats struct {
+	// Ticks counts loop iterations; IdleTicks the subset skipped for lack
+	// of traffic; Decisions the knob changes actually applied.
+	Ticks     int64
+	IdleTicks int64
+	Decisions int64
+	// Knobs is the most recent knob reading; Signals the most recent
+	// non-idle tick's derived signals.
+	Knobs   Knobs
+	Signals Signals
+	// Log is the retained decision history, oldest first.
+	Log []Decision
+}
+
+// Controller runs a Tuner against a Target on a background goroutine.
+// Start/Stop are idempotent pairs in the scavenger's style; Tick is exposed
+// for deterministic single-step driving in tests and experiments.
+type Controller struct {
+	target Target
+	tuner  *Tuner
+	cfg    Config
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+
+	// tickMu serializes Tick between the loop goroutine and any direct
+	// caller; the tuner is not concurrency-safe.
+	tickMu sync.Mutex
+
+	ticks     atomic.Int64
+	idleTicks atomic.Int64
+	decisions atomic.Int64
+
+	logMu    sync.Mutex
+	ring     []Decision
+	next     int
+	full     bool
+	lastSig  Signals
+	lastKnob Knobs
+}
+
+// NewController builds a Controller (not yet running). It panics on an
+// invalid config.
+func NewController(target Target, cfg Config) *Controller {
+	return &Controller{target: target, tuner: NewTuner(cfg), cfg: cfg.WithDefaults()}
+}
+
+// Start launches the background goroutine. Starting a running controller is
+// a no-op.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop(c.stop, c.done)
+}
+
+// Stop halts the background goroutine and waits for it to exit. Stopping a
+// stopped controller is a no-op.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Running reports whether the background goroutine is live.
+func (c *Controller) Running() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stop != nil
+}
+
+func (c *Controller) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			c.Tick()
+		}
+	}
+}
+
+// Tick runs one sample-decide-actuate cycle synchronously and returns the
+// decisions applied. Safe to call concurrently with the background loop
+// (ticks serialize), though the normal uses are either-or: background via
+// Start, or stepped from a test/experiment.
+func (c *Controller) Tick() []Decision {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+	c.ticks.Add(1)
+	s := c.target.Sample()
+	k := c.target.Knobs()
+	ds, sig, idle := c.tuner.Decide(s, k)
+	if idle {
+		c.idleTicks.Add(1)
+	}
+	applied := ds[:0]
+	for _, d := range ds {
+		if c.target.Apply(d) {
+			applied = append(applied, d)
+		}
+	}
+	c.decisions.Add(int64(len(applied)))
+	c.logMu.Lock()
+	if !idle {
+		c.lastSig = sig
+	}
+	c.lastKnob = k
+	for _, d := range applied {
+		c.record(d)
+	}
+	c.logMu.Unlock()
+	return applied
+}
+
+// record appends one decision to the ring. Caller holds logMu.
+func (c *Controller) record(d Decision) {
+	if cap(c.ring) == 0 {
+		c.ring = make([]Decision, 0, c.cfg.LogSize)
+	}
+	if len(c.ring) < c.cfg.LogSize {
+		c.ring = append(c.ring, d)
+		return
+	}
+	c.ring[c.next] = d
+	c.next = (c.next + 1) % c.cfg.LogSize
+	c.full = true
+}
+
+// Stats snapshots the controller's counters, latest knob/signal readings,
+// and the retained decision log (oldest first).
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Ticks:     c.ticks.Load(),
+		IdleTicks: c.idleTicks.Load(),
+		Decisions: c.decisions.Load(),
+	}
+	c.logMu.Lock()
+	st.Signals = c.lastSig
+	st.Knobs = c.lastKnob
+	if c.full {
+		st.Log = append(st.Log, c.ring[c.next:]...)
+		st.Log = append(st.Log, c.ring[:c.next]...)
+	} else {
+		st.Log = append(st.Log, c.ring...)
+	}
+	c.logMu.Unlock()
+	return st
+}

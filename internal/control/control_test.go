@@ -1,0 +1,511 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkSample builds a cumulative sample with enough traffic to clear the
+// idle gate; the per-signal knobs are expressed as deltas applied on top of
+// a base of 10_000 ops per tick.
+type tickShape struct {
+	ops          int64 // mallocs+frees delta (split evenly)
+	heapAcq      int64 // per-proc heap lock acquisitions delta
+	heapCont     int64 // contended subset
+	moves        int64 // superblock moves + global hits delta
+	refills      int64 // magazine batch refills + flushes delta
+	live         int64 // gauge
+	footprint    int64 // gauge
+	backlog      int64 // gauge
+	decommits    int64 // delta
+	recommits    int64 // delta
+	classInUse   int64 // gauge: in-use bytes of the one sampled class
+	classHeld    int64 // gauge: held bytes of the one sampled class
+	classSize    int
+	classSuperbl int
+}
+
+// advance folds one tick's shape onto a running cumulative sample.
+func advance(prev Sample, sh tickShape) Sample {
+	s := prev
+	s.WhenNS += 1e6
+	s.Mallocs += sh.ops / 2
+	s.Frees += sh.ops - sh.ops/2
+	s.HeapAcquires += sh.heapAcq
+	s.HeapContended += sh.heapCont
+	s.SuperblockMoves += sh.moves
+	s.BatchRefills += sh.refills
+	s.Decommits += sh.decommits
+	s.Recommits += sh.recommits
+	s.LiveBytes = sh.live
+	s.FootprintBytes = sh.footprint
+	s.GlobalEmptyBytes = sh.backlog
+	if sh.classSize != 0 {
+		s.Classes = []ClassStat{{
+			BlockSize:   sh.classSize,
+			Superblocks: sh.classSuperbl,
+			HeldBytes:   sh.classHeld,
+			InUseBytes:  sh.classInUse,
+		}}
+	} else {
+		s.Classes = nil
+	}
+	return s
+}
+
+func baseKnobs() Knobs {
+	return Knobs{
+		EmptyFraction: 0.25,
+		SlackK:        1,
+		MagCapacity:   map[int]int{64: 32},
+		ScavHighWater: 256 << 10,
+		ScavLowWater:  128 << 10,
+		ScavRate:      64 << 20,
+		ScavBurst:     256 << 10,
+	}
+}
+
+// healthy is a steady tick shape no rule should fire on: modest lock
+// traffic, balanced fragmentation, footprint close to live.
+func healthy() tickShape {
+	return tickShape{
+		ops: 10000, heapAcq: 200, heapCont: 2,
+		live: 1 << 20, footprint: 1<<20 + 1<<18, backlog: 0,
+		classSize: 64, classSuperbl: 16, classHeld: 16 * 8192, classInUse: 16 * 8192 * 6 / 10,
+	}
+}
+
+// prime feeds the tuner its baseline sample and returns the cumulative
+// state; the first Decide call is always idle. Manual-pin corrections are
+// the only decisions an idle tick may emit.
+func prime(t *testing.T, tn *Tuner, k Knobs) Sample {
+	t.Helper()
+	s := advance(Sample{WhenNS: 1}, healthy())
+	ds, _, idle := tn.Decide(s, k)
+	if !idle {
+		t.Fatalf("priming tick not idle (decisions %v)", ds)
+	}
+	for _, d := range ds {
+		if d.Reason != "manual pin" {
+			t.Fatalf("priming tick emitted rule decision %v", d)
+		}
+	}
+	return s
+}
+
+func findKnob(ds []Decision, knob string) (Decision, bool) {
+	for _, d := range ds {
+		if d.Knob == knob {
+			return d, true
+		}
+	}
+	return Decision{}, false
+}
+
+func TestMagazineWidensOnContentionLowFrag(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 2000, 400 // 20% contended
+	sh.classInUse = sh.classHeld * 9 / 10
+	s = advance(s, sh)
+	ds, sig, idle := tn.Decide(s, k)
+	if idle {
+		t.Fatalf("tick idle with %d ops", sig.Ops)
+	}
+	d, ok := findKnob(ds, MagKnob(64))
+	if !ok {
+		t.Fatalf("no magazine decision in %v (signals %+v)", ds, sig)
+	}
+	if d.Old != 32 || d.New != 64 {
+		t.Fatalf("magazine decision %v, want 32 -> 64", d)
+	}
+}
+
+func TestMagazineWidensOnLockRateWithoutContention(t *testing.T) {
+	// One-CPU regime: locks are never contended (the owner is always
+	// runnable) but every op still visits the heap lock. The widen rule
+	// must fire on lock traffic per op alone.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 5000, 0 // 0.5 locks/op, zero contention
+	sh.classInUse = sh.classHeld * 9 / 10
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	if d, ok := findKnob(ds, MagKnob(64)); !ok || d.New != 64 {
+		t.Fatalf("lock-rate widen missing: decisions %v, signals %+v", ds, sig)
+	}
+}
+
+func TestMagazineWidensOnRefillRate(t *testing.T) {
+	// Lock-free core regime: the heap locks are barely touched because the
+	// warm paths avoid them, yet the undersized magazines pay a batch
+	// transfer every couple of ops. The widen rule must fire on the
+	// refill/flush rate alone.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 50, 0 // locks quiet
+	sh.refills = 4000               // 0.4 transfers/op
+	sh.classInUse = sh.classHeld * 9 / 10
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	if d, ok := findKnob(ds, MagKnob(64)); !ok || d.New != 64 {
+		t.Fatalf("refill-rate widen missing: decisions %v, signals %+v", ds, sig)
+	}
+}
+
+func TestMagazineShrinkBlockedByRefillTraffic(t *testing.T) {
+	// High fragmentation normally shrinks the magazine, but not while the
+	// magazines are still transferring heavily — shrinking would make the
+	// transfer churn worse.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 50, 0
+	sh.refills = 200                 // 0.02 transfers/op: in the hysteresis dead zone
+	sh.classInUse = sh.classHeld / 5 // 80% frag
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	if d, ok := findKnob(ds, MagKnob(64)); ok {
+		t.Fatalf("magazine moved despite refill traffic in the dead zone: %v (signals %+v)", d, sig)
+	}
+}
+
+func TestMagazineShrinksOnFragmentationQuietLocks(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 50, 0  // quiet
+	sh.classInUse = sh.classHeld / 5 // 80% frag
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, MagKnob(64))
+	if !ok {
+		t.Fatalf("no shrink decision in %v (signals %+v)", ds, sig)
+	}
+	if d.Old != 32 || d.New != 16 {
+		t.Fatalf("magazine decision %v, want 32 -> 16", d)
+	}
+}
+
+func TestMagazineNoActionInDeadZone(t *testing.T) {
+	// Between the thresholds — moderate lock traffic, moderate
+	// fragmentation — nothing may move in either direction.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	for i := 0; i < 10; i++ {
+		sh := healthy()
+		sh.heapAcq, sh.heapCont = 500, 25 // 5% contention, 0.05 locks/op
+		sh.classInUse = sh.classHeld * 6 / 10
+		s = advance(s, sh)
+		ds, _, _ := tn.Decide(s, k)
+		if d, ok := findKnob(ds, MagKnob(64)); ok {
+			t.Fatalf("tick %d: dead-zone tick moved magazine: %v", i, d)
+		}
+	}
+}
+
+func TestMagazineClampsAtMax(t *testing.T) {
+	tn := NewTuner(Config{CooldownTicks: 1})
+	k := baseKnobs()
+	k.MagCapacity[64] = 200 // doubling would exceed MaxMagCapacity 256
+	s := prime(t, tn, k)
+
+	hot := healthy()
+	hot.heapAcq, hot.heapCont = 2000, 400
+	hot.classInUse = hot.classHeld * 9 / 10
+
+	s = advance(s, hot)
+	ds, _, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, MagKnob(64))
+	if !ok || d.New != 256 {
+		t.Fatalf("decision %v (found %v), want clamp to 256", d, ok)
+	}
+	k.MagCapacity[64] = int(d.New)
+
+	// At the clamp, the rule must go silent rather than re-emit 256 -> 256.
+	for i := 0; i < 4; i++ {
+		s = advance(s, hot)
+		if ds, _, _ := tn.Decide(s, k); len(ds) != 0 {
+			if d, ok := findKnob(ds, MagKnob(64)); ok {
+				t.Fatalf("tick %d: decision at clamp: %v", i, d)
+			}
+		}
+	}
+}
+
+func TestCooldownPreventsFlapping(t *testing.T) {
+	// Alternate a widen-favoring tick and a shrink-favoring tick. Without
+	// hysteresis the knob would flap every tick; with CooldownTicks=4 the
+	// knob may move at most once per 5 non-idle ticks.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	widen := healthy()
+	widen.heapAcq, widen.heapCont = 2000, 400
+	widen.classInUse = widen.classHeld * 9 / 10
+	shrink := healthy()
+	shrink.heapAcq, shrink.heapCont = 50, 0
+	shrink.classInUse = shrink.classHeld / 5
+
+	var moves []Decision
+	for i := 0; i < 12; i++ {
+		sh := widen
+		if i%2 == 1 {
+			sh = shrink
+		}
+		s = advance(s, sh)
+		ds, _, _ := tn.Decide(s, k)
+		if d, ok := findKnob(ds, MagKnob(64)); ok {
+			moves = append(moves, d)
+			k.MagCapacity[64] = int(d.New)
+		}
+	}
+	// 12 ticks with a 4-tick cooldown allows at most ceil(12/5)=3 moves.
+	if len(moves) > 3 {
+		t.Fatalf("knob flapped: %d moves in 12 ticks: %v", len(moves), moves)
+	}
+	for i := 1; i < len(moves); i++ {
+		if moves[i].Old != moves[i-1].New {
+			t.Fatalf("decision chain broken: %v then %v", moves[i-1], moves[i])
+		}
+	}
+}
+
+func TestSlackRaisesOnPingPong(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.moves = 500 // 5% of ops migrate superblocks
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, KnobSlackK)
+	if !ok {
+		t.Fatalf("no slack decision in %v (signals %+v)", ds, sig)
+	}
+	if d.Old != 1 || d.New != 2 {
+		t.Fatalf("slack decision %v, want 1 -> 2", d)
+	}
+	// f should also drift up: footprint is healthy and ping-pong is high.
+	if d, ok := findKnob(ds, KnobEmptyFraction); !ok || d.New <= d.Old {
+		t.Fatalf("empty-fraction decision %v (found %v), want additive raise", d, ok)
+	}
+}
+
+func TestSlackLowersOnFootprintDivergence(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	k.SlackK = 4
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.live = 1 << 20
+	sh.footprint = 3 << 20 // 3x live
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, KnobSlackK)
+	if !ok {
+		t.Fatalf("no slack decision in %v (signals %+v)", ds, sig)
+	}
+	if d.Old != 4 || d.New != 3 {
+		t.Fatalf("slack decision %v, want 4 -> 3", d)
+	}
+	// f backs off multiplicatively under the same pressure.
+	if d, ok := findKnob(ds, KnobEmptyFraction); !ok || d.New >= d.Old {
+		t.Fatalf("empty-fraction decision %v (found %v), want multiplicative cut", d, ok)
+	}
+}
+
+func TestSlackClampsAtZero(t *testing.T) {
+	tn := NewTuner(Config{CooldownTicks: 1})
+	k := baseKnobs()
+	k.SlackK = 0
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.live, sh.footprint = 1<<20, 3<<20
+	s = advance(s, sh)
+	ds, _, _ := tn.Decide(s, k)
+	if d, ok := findKnob(ds, KnobSlackK); ok {
+		t.Fatalf("slack moved below clamp: %v", d)
+	}
+}
+
+func TestFootprintRulesGatedOnLiveBytes(t *testing.T) {
+	// A drained allocator (tiny live, big warm reserve) shows a huge
+	// footprint ratio that means nothing. The shrink rules must not fire.
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	k.SlackK = 4
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.live = 4 << 10 // below MinLiveBytes
+	sh.footprint = 2 << 20
+	s = advance(s, sh)
+	ds, _, _ := tn.Decide(s, k)
+	for _, knob := range []string{KnobSlackK, KnobEmptyFraction, KnobScavHighWater} {
+		if d, ok := findKnob(ds, knob); ok {
+			t.Fatalf("footprint rule fired on drained allocator: %v", d)
+		}
+	}
+}
+
+func TestScavengerEngagesOnBloatWithBacklog(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.live, sh.footprint = 1<<20, 3<<20
+	sh.backlog = 1 << 20 // well above the 256 KiB watermark
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, KnobScavHighWater)
+	if !ok {
+		t.Fatalf("no watermark decision in %v (signals %+v)", ds, sig)
+	}
+	if d.New >= d.Old {
+		t.Fatalf("watermark decision %v, want lower", d)
+	}
+	if d, ok := findKnob(ds, KnobScavRate); !ok || d.New <= d.Old {
+		t.Fatalf("rate decision %v (found %v), want raise", d, ok)
+	}
+}
+
+func TestScavengerBacksOffOnRecommitChurn(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.decommits, sh.recommits = 100, 90 // releasing pages we take right back
+	s = advance(s, sh)
+	ds, sig, _ := tn.Decide(s, k)
+	d, ok := findKnob(ds, KnobScavHighWater)
+	if !ok {
+		t.Fatalf("no watermark decision in %v (signals %+v)", ds, sig)
+	}
+	if d.New <= d.Old {
+		t.Fatalf("watermark decision %v, want raise", d)
+	}
+	if d, ok := findKnob(ds, KnobScavRate); !ok || d.New >= d.Old {
+		t.Fatalf("rate decision %v (found %v), want lower", d, ok)
+	}
+}
+
+func TestIdleTickMovesNothingAndSkipsCooldown(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	// A hot tick starts the cooldown.
+	hot := healthy()
+	hot.heapAcq, hot.heapCont = 2000, 400
+	hot.classInUse = hot.classHeld * 9 / 10
+	s = advance(s, hot)
+	if ds, _, _ := tn.Decide(s, k); len(ds) == 0 {
+		t.Fatal("hot tick produced no decisions")
+	}
+	k.MagCapacity[64] = 64
+
+	// Idle ticks (no traffic) must not emit and must not burn cooldown.
+	for i := 0; i < 10; i++ {
+		s.WhenNS += 1e6
+		ds, _, idle := tn.Decide(s, k)
+		if !idle || len(ds) != 0 {
+			t.Fatalf("idle tick %d: idle=%v decisions=%v", i, idle, ds)
+		}
+	}
+	// First non-idle tick after the idle run is still inside the cooldown
+	// window (cooldown decrements only on non-idle ticks).
+	s = advance(s, hot)
+	if ds, _, _ := tn.Decide(s, k); len(ds) != 0 {
+		if d, ok := findKnob(ds, MagKnob(64)); ok {
+			t.Fatalf("cooldown decremented across idle ticks: %v", d)
+		}
+	}
+}
+
+func TestManualPinBlocksRuleAndCorrectsDrift(t *testing.T) {
+	tn := NewTuner(Config{Manual: map[string]float64{
+		KnobSlackK:  2,
+		MagKnob(64): 16,
+	}})
+	k := baseKnobs() // SlackK 1, mag 32: both drifted from their pins
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.moves = 500 // would raise K if unpinned
+	sh.heapAcq, sh.heapCont = 2000, 400
+	sh.classInUse = sh.classHeld * 9 / 10 // would widen magazine if unpinned
+	s = advance(s, sh)
+	ds, _, _ := tn.Decide(s, k)
+
+	d, ok := findKnob(ds, KnobSlackK)
+	if !ok || d.New != 2 || d.Reason != "manual pin" {
+		t.Fatalf("slack pin correction missing or wrong: %v (found %v)", d, ok)
+	}
+	d, ok = findKnob(ds, MagKnob(64))
+	if !ok || d.New != 16 || d.Reason != "manual pin" {
+		t.Fatalf("magazine pin correction missing or wrong: %v (found %v)", d, ok)
+	}
+}
+
+func TestManualPinAllMagazineClasses(t *testing.T) {
+	tn := NewTuner(Config{Manual: map[string]float64{KnobMagCapacity: 8}})
+	k := baseKnobs()
+	k.MagCapacity = map[int]int{64: 32, 512: 8}
+	s := prime(t, tn, k)
+
+	s = advance(s, healthy())
+	ds, _, _ := tn.Decide(s, k)
+	// The drifted class gets a correction; the already-pinned one does not.
+	if d, ok := findKnob(ds, MagKnob(64)); !ok || d.New != 8 {
+		t.Fatalf("bare pin did not correct class 64: %v (found %v)", d, ok)
+	}
+	if d, ok := findKnob(ds, MagKnob(512)); ok {
+		t.Fatalf("already-correct class re-pinned: %v", d)
+	}
+}
+
+func TestValidateRejectsInvertedThresholds(t *testing.T) {
+	err := Config{LowContention: 0.5, HighContention: 0.1}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "disengage") {
+		t.Fatalf("Validate = %v, want inverted-threshold error", err)
+	}
+}
+
+func TestDecisionReasonsAreSpecific(t *testing.T) {
+	tn := NewTuner(Config{})
+	k := baseKnobs()
+	s := prime(t, tn, k)
+
+	sh := healthy()
+	sh.heapAcq, sh.heapCont = 2000, 400
+	sh.classInUse = sh.classHeld * 9 / 10
+	s = advance(s, sh)
+	ds, _, _ := tn.Decide(s, k)
+	for _, d := range ds {
+		if d.Reason == "" {
+			t.Fatalf("decision %v has empty reason", d)
+		}
+	}
+}

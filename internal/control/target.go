@@ -1,0 +1,189 @@
+package control
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
+	"hoardgo/internal/metrics"
+	"hoardgo/internal/scavenge"
+	"hoardgo/internal/tcache"
+)
+
+// CoreTarget adapts a real-mode allocator stack to the Target interface.
+// Core is required; the other layers are optional and simply narrow what the
+// controller can see and move:
+//
+//   - without Cache there are no magazine knobs,
+//   - without Scav there are no scavenger-pacing knobs,
+//   - without Reg the lock-derived signals read zero (the LockRate and
+//     contention rules then never fire, which is the safe direction).
+type CoreTarget struct {
+	Core  *core.Hoard
+	Cache *tcache.Allocator
+	Scav  *scavenge.Scavenger
+	Reg   *metrics.Registry
+
+	// Clock stamps samples; nil means time.Now. Tests override it.
+	Clock func() int64
+
+	// env for the sampling walks. Heap locks taken while sampling are
+	// attributed to this pseudo-thread; ID -1 keeps it off the remote-free
+	// ownership paths.
+	env env.RealEnv
+}
+
+// NewCoreTarget returns a CoreTarget over the stack. Cache, scav, and reg
+// may be nil.
+func NewCoreTarget(c *core.Hoard, cache *tcache.Allocator, scav *scavenge.Scavenger, reg *metrics.Registry) *CoreTarget {
+	return &CoreTarget{Core: c, Cache: cache, Scav: scav, Reg: reg, env: env.RealEnv{ID: -1}}
+}
+
+func (t *CoreTarget) now() int64 {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return time.Now().UnixNano()
+}
+
+// Sample reads one controller sample off the live allocator. The heap
+// occupancy walk takes each heap lock briefly; the lock counters come from
+// the metrics registry so the walk's own acquisitions are included — a
+// constant ~NumHeaps acquires per tick, far below the rule thresholds at any
+// traffic level that passes the MinOpsPerTick gate.
+func (t *CoreTarget) Sample() Sample {
+	st := t.Core.Stats()
+	vmSt := t.Core.Space().Stats()
+	s := Sample{
+		WhenNS:          t.now(),
+		Mallocs:         st.Mallocs,
+		Frees:           st.Frees,
+		SuperblockMoves: st.SuperblockMoves,
+		GlobalHeapHits:  st.GlobalHeapHits,
+		RemoteFrees:     st.RemoteFrees,
+		BatchRefills:    st.BatchRefills,
+		BatchFlushes:    st.BatchFlushes,
+		Decommits:       vmSt.Decommits,
+		Recommits:       vmSt.Recommits,
+		LiveBytes:       st.LiveBytes,
+		FootprintBytes:  vmSt.Committed,
+	}
+	if t.Cache != nil {
+		cst := t.Cache.Stats()
+		s.Mallocs, s.Frees, s.LiveBytes = cst.Mallocs, cst.Frees, cst.LiveBytes
+	}
+	if n, ok := t.Core.TryGlobalEmptyBytes(&t.env); ok {
+		s.GlobalEmptyBytes = n
+	} else {
+		s.GlobalEmptyBytes = -1
+	}
+	bylen := map[int]*ClassStat{}
+	sbSize := int64(t.Core.SuperblockSize())
+	// All heaps count, including the global one: under an aggressive
+	// eviction policy the working set's superblocks spend most of their
+	// time parked on heap 0 and the per-processor heaps alone would look
+	// empty. Completely empty superblocks are excluded from the held
+	// denominator instead — they are the scavenger's backlog
+	// (GlobalEmptyBytes), not fragmented working memory, and counting them
+	// would make any eviction-heavy workload look maximally fragmented.
+	for _, occ := range t.Core.SampleHeaps(&t.env, true) {
+		for _, co := range occ.Classes {
+			cs := bylen[co.BlockSize]
+			if cs == nil {
+				cs = &ClassStat{BlockSize: co.BlockSize}
+				bylen[co.BlockSize] = cs
+			}
+			cs.Superblocks += co.Superblocks - co.EmptySuperblocks
+			cs.HeldBytes += int64(co.Superblocks-co.EmptySuperblocks) * sbSize
+			cs.InUseBytes += co.InUseBytes
+		}
+	}
+	for _, bs := range sortedKeys(bylen) {
+		s.Classes = append(s.Classes, *bylen[bs])
+	}
+	if t.Reg != nil {
+		for _, ls := range t.Reg.LockStats() {
+			switch {
+			case ls.Name == "hoard.heap0":
+				s.GlobalAcquires += ls.Acquires
+				s.GlobalContended += ls.Contended
+			case strings.HasPrefix(ls.Name, "hoard.heap"):
+				s.HeapAcquires += ls.Acquires
+				s.HeapContended += ls.Contended
+			}
+		}
+	}
+	return s
+}
+
+// Knobs reads every knob's current value.
+func (t *CoreTarget) Knobs() Knobs {
+	k := Knobs{
+		EmptyFraction: t.Core.EmptyFraction(),
+		SlackK:        t.Core.SlackK(),
+	}
+	if t.Cache != nil {
+		k.MagCapacity = make(map[int]int, t.Cache.NumClasses())
+		for class := 0; class < t.Cache.NumClasses(); class++ {
+			k.MagCapacity[t.Cache.ClassSize(class)] = t.Cache.Capacity(class)
+		}
+	}
+	if t.Scav != nil {
+		k.ScavHighWater, k.ScavLowWater = t.Scav.Watermarks()
+		k.ScavRate, k.ScavBurst = t.Scav.Rate()
+	}
+	return k
+}
+
+// Apply actuates one decision. A false return means the decision named a
+// knob this stack cannot move (no cache/scavenger layered, unknown class, or
+// a value the layer's own validation rejected) and should be dropped from
+// the log.
+func (t *CoreTarget) Apply(d Decision) bool {
+	switch {
+	case d.Knob == KnobEmptyFraction:
+		return t.Core.SetEmptyFraction(d.New) == nil
+	case d.Knob == KnobSlackK:
+		return t.Core.SetSlackK(int(d.New)) == nil
+	case d.Knob == KnobScavHighWater:
+		if t.Scav == nil {
+			return false
+		}
+		high := int64(d.New)
+		return t.Scav.SetWatermarks(high, high/2) == nil
+	case d.Knob == KnobScavRate:
+		if t.Scav == nil {
+			return false
+		}
+		_, burst := t.Scav.Rate()
+		return t.Scav.SetRate(int64(d.New), burst) == nil
+	case strings.HasPrefix(d.Knob, KnobMagCapacity+"/"):
+		if t.Cache == nil {
+			return false
+		}
+		bs, err := strconv.Atoi(d.Knob[len(KnobMagCapacity)+1:])
+		if err != nil {
+			return false
+		}
+		for class := 0; class < t.Cache.NumClasses(); class++ {
+			if t.Cache.ClassSize(class) == bs {
+				t.Cache.SetCapacity(class, int(d.New))
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func sortedKeys(m map[int]*ClassStat) []int {
+	out := make([]int, 0, len(m))
+	for bs := range m {
+		out = append(out, bs)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,226 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
+	"hoardgo/internal/metrics"
+	"hoardgo/internal/scavenge"
+	"hoardgo/internal/tcache"
+)
+
+// buildStack assembles core + tcache + scavenger + metrics registry the way
+// the public package does, returning the pieces individually.
+func buildStack(t *testing.T, magCap int) (*tcache.Allocator, *CoreTarget) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	h := core.New(core.Config{Heaps: 4}, reg.WrapFactory(env.RealLockFactory{}))
+	tc := tcache.New(h, tcache.Config{Capacity: magCap})
+	scav := scavenge.New(fakeScavTarget{}, scavenge.Config{})
+	return tc, NewCoreTarget(h, tc, scav, reg)
+}
+
+type fakeScavTarget struct{}
+
+func (fakeScavTarget) EmptyBytes() (int64, bool) { return 0, true }
+func (fakeScavTarget) Scavenge(int64, time.Duration) (int64, bool) {
+	return 0, true
+}
+
+func TestCoreTargetKnobsRoundTrip(t *testing.T) {
+	_, target := buildStack(t, 8)
+	k := target.Knobs()
+	if k.EmptyFraction != 0.25 || k.SlackK != 1 {
+		t.Fatalf("default knobs %+v", k)
+	}
+	if len(k.MagCapacity) == 0 {
+		t.Fatal("no magazine knobs with a tcache layered")
+	}
+	for bs, c := range k.MagCapacity {
+		if c != 8 {
+			t.Fatalf("class %d capacity %d, want 8", bs, c)
+		}
+	}
+	if k.ScavHighWater == 0 || k.ScavRate == 0 {
+		t.Fatalf("scavenger knobs not visible: %+v", k)
+	}
+
+	// Apply every knob kind and read it back.
+	apply := func(knob string, v float64) {
+		t.Helper()
+		if !target.Apply(Decision{Knob: knob, New: v}) {
+			t.Fatalf("Apply(%s=%v) refused", knob, v)
+		}
+	}
+	apply(KnobEmptyFraction, 0.5)
+	apply(KnobSlackK, 3)
+	apply(KnobScavHighWater, 1<<20)
+	apply(KnobScavRate, 1<<20)
+	var anyClass int
+	for bs := range k.MagCapacity {
+		anyClass = bs
+		break
+	}
+	apply(MagKnob(anyClass), 16)
+
+	k = target.Knobs()
+	if k.EmptyFraction != 0.5 || k.SlackK != 3 {
+		t.Fatalf("knobs after apply: %+v", k)
+	}
+	if k.MagCapacity[anyClass] != 16 {
+		t.Fatalf("magazine capacity %d, want 16", k.MagCapacity[anyClass])
+	}
+	if k.ScavHighWater != 1<<20 || k.ScavLowWater != 1<<19 {
+		t.Fatalf("scav watermarks (%d, %d)", k.ScavHighWater, k.ScavLowWater)
+	}
+
+	// Unknown knobs and out-of-range values are refused, not applied.
+	if target.Apply(Decision{Knob: "no_such_knob", New: 1}) {
+		t.Fatal("unknown knob accepted")
+	}
+	if target.Apply(Decision{Knob: MagKnob(3), New: 8}) {
+		t.Fatal("unknown magazine class accepted")
+	}
+	if target.Apply(Decision{Knob: KnobEmptyFraction, New: 2}) {
+		t.Fatal("f=2 accepted")
+	}
+}
+
+func TestCoreTargetSampleUnderTraffic(t *testing.T) {
+	tc, target := buildStack(t, 8)
+	th := tc.NewThread(&env.RealEnv{ID: 0})
+	var ptrs []alloc.Ptr
+	for i := 0; i < 2000; i++ {
+		ptrs = append(ptrs, tc.Malloc(th, 64))
+	}
+	for _, p := range ptrs[:1000] {
+		tc.Free(th, p)
+	}
+	s := target.Sample()
+	if s.Mallocs < 2000 || s.Frees < 1000 {
+		t.Fatalf("ops not visible: %+v", s)
+	}
+	if s.LiveBytes <= 0 || s.FootprintBytes <= 0 {
+		t.Fatalf("gauges not visible: live %d footprint %d", s.LiveBytes, s.FootprintBytes)
+	}
+	if s.HeapAcquires == 0 {
+		t.Fatal("lock counters not visible through the registry")
+	}
+	found := false
+	for _, cs := range s.Classes {
+		if cs.InUseBytes > 0 && cs.HeldBytes >= cs.InUseBytes {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no occupied class sampled: %+v", s.Classes)
+	}
+	for _, p := range ptrs[1000:] {
+		tc.Free(th, p)
+	}
+}
+
+// TestControllerConvergesFromBadDefaults is the in-package convergence
+// check: a detuned stack (tiny magazines) under a malloc/free storm must
+// have its magazine capacity widened by the controller within a bounded
+// number of stepped ticks.
+func TestControllerConvergesFromBadDefaults(t *testing.T) {
+	tc, target := buildStack(t, 2)
+	ctl := NewController(target, Config{MinOpsPerTick: 16})
+
+	th := tc.NewThread(&env.RealEnv{ID: 0})
+	start := target.Knobs().MagCapacity
+
+	// A standing live set keeps the sampled occupancy dense (low
+	// fragmentation). The churn is phase-separated — a run of frees, then a
+	// run of mallocs — because an interleaved free-one/malloc-one loop is
+	// absorbed entirely by even a capacity-2 magazine (each free's block is
+	// handed right back by the next malloc). Batched runs overflow and
+	// drain the tiny magazines, so nearly every operation pays a batch
+	// transfer into the core: the detuned regime the widen rule exists for.
+	live := make([]alloc.Ptr, 5000)
+	for i := range live {
+		live[i] = tc.Malloc(th, 48)
+	}
+	widened := false
+	for tick := 0; tick < 30 && !widened; tick++ {
+		for i := 0; i < 2500; i++ {
+			tc.Free(th, live[i])
+		}
+		for i := 0; i < 2500; i++ {
+			live[i] = tc.Malloc(th, 48)
+		}
+		ctl.Tick()
+		for bs, cur := range target.Knobs().MagCapacity {
+			if cur > start[bs] {
+				widened = true
+			}
+		}
+	}
+	for _, p := range live {
+		tc.Free(th, p)
+	}
+	if !widened {
+		st := ctl.Stats()
+		t.Fatalf("controller never widened magazines: stats %+v signals %+v", st, st.Signals)
+	}
+	st := ctl.Stats()
+	if st.Decisions == 0 || len(st.Log) == 0 {
+		t.Fatalf("no decisions logged: %+v", st)
+	}
+	for _, d := range st.Log {
+		if d.Reason == "" {
+			t.Fatalf("decision %v missing reason", d)
+		}
+	}
+}
+
+func TestControllerStartStopIdempotent(t *testing.T) {
+	_, target := buildStack(t, 8)
+	ctl := NewController(target, Config{})
+	ctl.Start()
+	ctl.Start()
+	if !ctl.Running() {
+		t.Fatal("not running after Start")
+	}
+	ctl.Stop()
+	ctl.Stop()
+	if ctl.Running() {
+		t.Fatal("running after Stop")
+	}
+	ctl.Start()
+	if !ctl.Running() {
+		t.Fatal("restart failed")
+	}
+	ctl.Stop()
+}
+
+func TestControllerLogRingBounded(t *testing.T) {
+	_, target := buildStack(t, 8)
+	ctl := NewController(target, Config{LogSize: 4, Manual: map[string]float64{
+		KnobSlackK: 5,
+	}})
+	// Each tick re-pins SlackK... only when drifted; drift it each tick to
+	// force a decision, overflowing the 4-entry ring.
+	for i := 0; i < 10; i++ {
+		if err := target.Core.SetSlackK(1); err != nil {
+			t.Fatal(err)
+		}
+		ctl.Tick()
+	}
+	st := ctl.Stats()
+	if len(st.Log) != 4 {
+		t.Fatalf("log length %d, want ring capacity 4", len(st.Log))
+	}
+	if st.Decisions != 10 {
+		t.Fatalf("decisions %d, want 10", st.Decisions)
+	}
+	for i := 1; i < len(st.Log); i++ {
+		if st.Log[i].WhenNS < st.Log[i-1].WhenNS {
+			t.Fatal("log not oldest-first")
+		}
+	}
+}

@@ -236,6 +236,9 @@ func (h *Hoard) BackendFallbackReason() string { return h.backendFallback }
 // Classes exposes the size-class table (used by tests and benchmarks).
 func (h *Hoard) Classes() *sizeclass.Table { return h.classes }
 
+// SuperblockSize returns S in bytes.
+func (h *Hoard) SuperblockSize() int { return h.cfg.SuperblockSize }
+
 // NewThread registers a worker. The thread's heap is chosen by hashing its
 // environment thread id over the per-processor heaps, as in the paper.
 func (h *Hoard) NewThread(e env.Env) *alloc.Thread {
@@ -441,6 +444,11 @@ func (h *Hoard) freeSpan(t *alloc.Thread, p alloc.Ptr, sp *vm.Span) {
 func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock, p alloc.Ptr) {
 	myIdx := t.State.(*threadState).heapIdx
 	blockSize := sb.BlockSize()
+	// Read the class now, while our still-live block pins the superblock's
+	// format: once the FastFree CAS below retires the block, this free may
+	// have emptied the superblock, and a racing malloc can pull it off the
+	// empty list and reformat it to a different class mid-read.
+	class := sb.Class()
 
 	// Lock-free warm path: a free is one CAS push onto the superblock's
 	// unified free list — and a CAS push works from any thread, so the
@@ -481,7 +489,7 @@ func (h *Hoard) freeSmall(t *alloc.Thread, e env.Env, sb *superblock.Superblock,
 				// Every free publishes (PublishWarm dedups consecutive
 				// repeats): the block most likely to be wanted next is
 				// the one that just came back.
-				owner.PublishWarm(sb.Class(), sb.SelfRef())
+				owner.PublishWarm(class, sb.SelfRef())
 			}
 			if owner.ID != 0 {
 				// The emptiness invariant is watched through the hint;
@@ -806,6 +814,41 @@ func (h *Hoard) HeapSnapshot(id int) (u, a int64, superblocks int) {
 
 // NumHeaps returns the number of heaps including the global heap.
 func (h *Hoard) NumHeaps() int { return len(h.heaps) }
+
+// EmptyFraction returns the empty fraction f currently in force. All heaps
+// share one value (SetEmptyFraction writes them all), so heap 0's copy is
+// authoritative.
+func (h *Hoard) EmptyFraction() float64 { return h.heaps[0].EmptyFraction() }
+
+// SetEmptyFraction retunes the empty fraction f on every heap. Safe to call
+// at any time from any goroutine — f parameterizes eviction policy, not
+// structural state, so concurrent malloc/free traffic simply starts seeing
+// the new value (see heap.SetEmptyFraction). Returns an error outside (0,1).
+func (h *Hoard) SetEmptyFraction(f float64) error {
+	if f <= 0 || f >= 1 {
+		return fmt.Errorf("hoard: empty fraction %v out of (0,1)", f)
+	}
+	for _, hp := range h.heaps {
+		hp.SetEmptyFraction(f)
+	}
+	return nil
+}
+
+// SlackK returns the emptiness-invariant slack K currently in force.
+func (h *Hoard) SlackK() int { return h.heaps[0].SlackK() }
+
+// SetSlackK retunes the slack K (in superblocks) on every heap. Safe to call
+// at any time from any goroutine; returns an error on negative K. Note the
+// literal value is stored — there is no KNone mapping here, 0 means 0.
+func (h *Hoard) SetSlackK(k int) error {
+	if k < 0 {
+		return fmt.Errorf("hoard: negative K %d", k)
+	}
+	for _, hp := range h.heaps {
+		hp.SetSlackK(k)
+	}
+	return nil
+}
 
 // CheckIntegrity implements alloc.Allocator. The allocator must be
 // quiescent.

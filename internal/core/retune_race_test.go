@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/env"
+)
+
+// TestRetuneFKUnderLoad flips the empty fraction f and slack K across their
+// full ranges while a producer-consumer workload runs — the satellite
+// regression for making those knobs runtime-adjustable: the invariant check
+// reads both atomically, so a mid-flight retune may change which frees
+// trigger an eviction pass but must never corrupt heap state or strand a
+// superblock. Run under -race this also proves the accessor plumbing has no
+// data race with the lock-free free paths that consult the invariant.
+func TestRetuneFKUnderLoad(t *testing.T) {
+	h := newHoard(Config{Heaps: 4})
+	const producers, consumers = 3, 3
+	const opsPer = 4000
+
+	ch := make(chan alloc.Ptr, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := thread(h, w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPer; i++ {
+				p := h.Malloc(th, 1+rng.Intn(500))
+				h.Bytes(p, 1)[0] = byte(w)
+				ch <- p
+			}
+		}(w)
+	}
+	var consumed sync.WaitGroup
+	for w := 0; w < consumers; w++ {
+		consumed.Add(1)
+		go func(w int) {
+			defer consumed.Done()
+			th := thread(h, producers+w)
+			for p := range ch {
+				h.Free(th, p)
+			}
+		}(w)
+	}
+
+	// The tuner: sweep f across (0,1) and K across [0,8] as fast as the
+	// scheduler allows, exactly what the self-tuning controller does at a
+	// far lower rate.
+	var stop atomic.Bool
+	var tuner sync.WaitGroup
+	tuner.Add(1)
+	go func() {
+		defer tuner.Done()
+		fs := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+		for i := 0; !stop.Load(); i++ {
+			if err := h.SetEmptyFraction(fs[i%len(fs)]); err != nil {
+				t.Errorf("SetEmptyFraction: %v", err)
+				return
+			}
+			if err := h.SetSlackK(i % 9); err != nil {
+				t.Errorf("SetSlackK: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(ch)
+	consumed.Wait()
+	stop.Store(true)
+	tuner.Wait()
+
+	// Pin a known configuration, then check nothing was lost: every block
+	// was freed, the books balance, and no superblock leaked out of the
+	// heap lists (CheckIntegrity walks them all).
+	if err := h.SetEmptyFraction(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetSlackK(1); err != nil {
+		t.Fatal(err)
+	}
+	h.Reconcile(&env.RealEnv{ID: -1})
+	st := h.Stats()
+	if st.Mallocs != st.Frees {
+		t.Fatalf("mallocs %d != frees %d after drain", st.Mallocs, st.Frees)
+	}
+	if st.LiveBytes != 0 {
+		t.Fatalf("LiveBytes %d after drain, want 0", st.LiveBytes)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity after retune storm: %v", err)
+	}
+}
+
+// TestSetEmptyFractionBounds pins the accessor contracts: values outside
+// (0,1) and negative K are rejected without touching the heaps.
+func TestSetEmptyFractionBounds(t *testing.T) {
+	h := newHoard(Config{Heaps: 2})
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if err := h.SetEmptyFraction(f); err == nil {
+			t.Fatalf("SetEmptyFraction(%v) accepted", f)
+		}
+	}
+	if err := h.SetSlackK(-1); err == nil {
+		t.Fatal("SetSlackK(-1) accepted")
+	}
+	if err := h.SetEmptyFraction(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EmptyFraction(); got != 0.5 {
+		t.Fatalf("EmptyFraction = %v, want 0.5", got)
+	}
+	if err := h.SetSlackK(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.SlackK(); got != 3 {
+		t.Fatalf("SlackK = %v, want 3", got)
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hoardgo/internal/alloc"
+	"hoardgo/internal/control"
+	"hoardgo/internal/core"
+	"hoardgo/internal/env"
+	"hoardgo/internal/metrics"
+	"hoardgo/internal/tcache"
+	"hoardgo/internal/workload"
+)
+
+// This file is the A14 experiment: the self-tuning controller ablation
+// (DESIGN.md §14). Three arms of the same hoard+tcache stack run the same
+// workload in repeated episodes:
+//
+//   - detuned: deliberately bad static knobs (f=0.05, K=0, magazines of 4)
+//     and no controller — the configuration a user who guessed wrong lives
+//     with.
+//   - tuned: the same bad starting knobs with the controller running; it
+//     must discover the problem from the live signals and move the knobs.
+//   - oracle: the hand-tuned static configuration (the defaults plus wide
+//     magazines) — the target the controller is graded against.
+//
+// The first episodes are the convergence window; the measured numbers come
+// from the final episode only, so the tuned arm is scored on its steady
+// state after convergence, not on the bad prefix it was deliberately given.
+// cmd/hoardbench serializes the result into BENCH_PR10.json.
+
+// ControlArm is one arm's steady-state measurement.
+type ControlArm struct {
+	Arm string `json:"arm"`
+	// Ops, LockAcquires, and Transfers are final-episode deltas; the rates
+	// are per operation. Transfers counts magazine batch refills + flushes —
+	// the traffic undersized magazines generate even when the core's
+	// lock-free paths absorb the lock cost.
+	Ops            int64   `json:"ops"`
+	LockAcquires   int64   `json:"lock_acquires"`
+	LocksPerOp     float64 `json:"locks_per_op"`
+	Transfers      int64   `json:"transfers"`
+	TransfersPerOp float64 `json:"transfers_per_op"`
+	// FinalCommitted is the committed footprint after the run drained;
+	// PeakCommitted the whole-run high-water mark.
+	FinalCommitted int64 `json:"final_committed_bytes"`
+	PeakCommitted  int64 `json:"peak_committed_bytes"`
+	// Controller activity (tuned arm only).
+	Ticks      int64              `json:"ticks,omitempty"`
+	Decisions  int64              `json:"decisions,omitempty"`
+	FinalKnobs map[string]float64 `json:"final_knobs,omitempty"`
+}
+
+// ControlResult is one workload's three-arm comparison.
+type ControlResult struct {
+	Workload string     `json:"workload"`
+	Procs    int        `json:"procs"`
+	Detuned  ControlArm `json:"detuned"`
+	Tuned    ControlArm `json:"tuned"`
+	Oracle   ControlArm `json:"oracle"`
+	// TransferRatioVsDetuned is tuned transfers/op over detuned's (< 1
+	// means the controller beat the bad static config it started from);
+	// TransferRatioVsOracle compares against the hand-tuned arm.
+	TransferRatioVsDetuned float64 `json:"transfer_ratio_vs_detuned"`
+	TransferRatioVsOracle  float64 `json:"transfer_ratio_vs_oracle"`
+	// FootprintRatioVsOracle is tuned final committed over oracle's.
+	FootprintRatioVsOracle float64 `json:"footprint_ratio_vs_oracle"`
+}
+
+// controlArmSpec is one arm's starting configuration.
+type controlArmSpec struct {
+	name   string
+	f      float64 // 0 selects the core default (0.25)
+	k      int     // 0 selects the core default (1)
+	magCap int
+	tune   bool
+}
+
+func controlArmSpecs() []controlArmSpec {
+	return []controlArmSpec{
+		{name: "detuned", f: 0.05, k: core.KNone, magCap: 4},
+		{name: "tuned", f: 0.05, k: core.KNone, magCap: 4, tune: true},
+		{name: "oracle", magCap: 64},
+	}
+}
+
+// controlEpisodes returns (convergence episodes, total episodes) for a scale.
+func controlEpisodes(scale Scale) int {
+	if scale == Quick {
+		return 8
+	}
+	return 20
+}
+
+// runControlEpisode plays one episode of the named workload on a fresh
+// single-use harness over the arm's shared allocator (a Harness allows one
+// Par; the arm's state lives in the allocator, not the harness).
+func runControlEpisode(bench string, a alloc.Allocator, procs int, scale Scale) {
+	mk := func(int, env.LockFactory) alloc.Allocator { return a }
+	h := workload.NewRealMaker("hoard", procs, mk)
+	switch bench {
+	case "prodcons":
+		cfg := workload.DefaultProdCons(procs)
+		cfg.Rounds, cfg.Batch = 10, 400
+		if scale == Full {
+			cfg.Rounds = 40
+		}
+		workload.ProdCons(h, cfg)
+	case "phaseshift":
+		cfg := workload.DefaultPhaseShift(procs)
+		cfg.Phases = procs
+		cfg.LiveObjects = 2000
+		workload.PhaseShift(h, cfg)
+	case "larson":
+		cfg := workload.DefaultLarson(procs)
+		cfg.Rounds, cfg.OpsPerRound, cfg.SlotsPerWindow = 2, 2000, 500
+		if scale == Full {
+			cfg.Rounds = 8
+		}
+		workload.Larson(h, cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown control workload %q", bench))
+	}
+}
+
+// measureControlArm runs one arm: episodes of the workload with (tuned arm
+// only) the controller live in the background, measuring the final episode.
+func measureControlArm(bench string, procs int, spec controlArmSpec, scale Scale) ControlArm {
+	clf := &env.CountingLockFactory{Inner: env.RealLockFactory{}}
+	reg := metrics.NewRegistry()
+	lf := reg.WrapFactory(clf)
+	h := core.New(core.Config{Heaps: 2 * procs, EmptyFraction: spec.f, K: spec.k}, lf)
+	tc := tcache.New(h, tcache.Config{Capacity: spec.magCap})
+	var a alloc.Allocator = tc
+
+	var ctl *control.Controller
+	if spec.tune {
+		target := control.NewCoreTarget(h, tc, nil, reg)
+		ctl = control.NewController(target, control.Config{
+			Interval:      time.Millisecond,
+			CooldownTicks: 2,
+			MinOpsPerTick: 32,
+		})
+		ctl.Start()
+	}
+
+	episodes := controlEpisodes(scale)
+	for i := 0; i < episodes-1; i++ {
+		runControlEpisode(bench, a, procs, scale)
+	}
+	// Steady-state window: the final episode's deltas.
+	locks0 := clf.Acquires()
+	st0 := a.Stats()
+	runControlEpisode(bench, a, procs, scale)
+	st1 := a.Stats()
+	locks1 := clf.Acquires()
+	if ctl != nil {
+		ctl.Stop()
+	}
+	if err := a.CheckIntegrity(); err != nil {
+		panic(fmt.Sprintf("controlbench: integrity after %s/%s: %v", bench, spec.name, err))
+	}
+
+	arm := ControlArm{
+		Arm:            spec.name,
+		Ops:            (st1.Mallocs + st1.Frees) - (st0.Mallocs + st0.Frees),
+		LockAcquires:   locks1 - locks0,
+		Transfers:      (st1.BatchRefills + st1.BatchFlushes) - (st0.BatchRefills + st0.BatchFlushes),
+		FinalCommitted: a.Space().Committed(),
+		PeakCommitted:  a.Space().PeakCommitted(),
+	}
+	if arm.Ops > 0 {
+		arm.LocksPerOp = float64(arm.LockAcquires) / float64(arm.Ops)
+		arm.TransfersPerOp = float64(arm.Transfers) / float64(arm.Ops)
+	}
+	if ctl != nil {
+		cs := ctl.Stats()
+		arm.Ticks = cs.Ticks
+		arm.Decisions = cs.Decisions
+		arm.FinalKnobs = cs.Knobs.Map()
+	}
+	return arm
+}
+
+// controlWorkloads is the A14 workload set.
+func controlWorkloads() []string { return []string{"prodcons", "phaseshift", "larson"} }
+
+// MeasureControl runs the three-arm ablation on every A14 workload.
+func MeasureControl(procs int, scale Scale, progress func(string, int)) []ControlResult {
+	var out []ControlResult
+	for _, bench := range controlWorkloads() {
+		if progress != nil {
+			progress("control/"+bench, procs)
+		}
+		r := ControlResult{Workload: bench, Procs: procs}
+		for _, spec := range controlArmSpecs() {
+			arm := measureControlArm(bench, procs, spec, scale)
+			switch spec.name {
+			case "detuned":
+				r.Detuned = arm
+			case "tuned":
+				r.Tuned = arm
+			case "oracle":
+				r.Oracle = arm
+			}
+		}
+		if r.Detuned.TransfersPerOp > 0 {
+			r.TransferRatioVsDetuned = r.Tuned.TransfersPerOp / r.Detuned.TransfersPerOp
+		}
+		if r.Oracle.TransfersPerOp > 0 {
+			r.TransferRatioVsOracle = r.Tuned.TransfersPerOp / r.Oracle.TransfersPerOp
+		}
+		if r.Oracle.FinalCommitted > 0 {
+			r.FootprintRatioVsOracle = float64(r.Tuned.FinalCommitted) / float64(r.Oracle.FinalCommitted)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Thresholds the artifact writer and make tune-smoke enforce. Rates on a
+// lock-free core are small, so each relative bound carries an absolute floor
+// below which the comparison is noise.
+const (
+	// tuneMaxVsDetuned: the tuned arm must not generate more magazine
+	// transfer traffic than the bad static config it started from.
+	tuneMaxVsDetuned = 1.05
+	// tuneMaxVsOracle / tuneTransferFloor: tuned steady-state transfers/op
+	// within 1.5x of the hand-tuned arm, or under the absolute floor.
+	tuneMaxVsOracle   = 1.5
+	tuneTransferFloor = 0.05
+	// tuneMaxFootprint / tuneFootprintFloor: tuned final committed bytes
+	// within 1.5x of the oracle arm, or under the absolute floor.
+	tuneMaxFootprint   = 1.5
+	tuneFootprintFloor = 8 << 20
+)
+
+// CheckControl enforces the A14 convergence thresholds over a measured set.
+// Returns an error (instead of asserting) so cmd/hoardbench can write the
+// artifact and print the numbers before failing.
+func CheckControl(rs []ControlResult) error {
+	for _, r := range rs {
+		t := r.Tuned
+		if t.Decisions == 0 {
+			return fmt.Errorf("control: %s tuned arm made no decisions — controller never engaged", r.Workload)
+		}
+		if t.TransfersPerOp > tuneTransferFloor {
+			if r.Detuned.TransfersPerOp > 0 && r.TransferRatioVsDetuned > tuneMaxVsDetuned {
+				return fmt.Errorf("control: %s tuned arm transfers/op %.4f is %.2fx the detuned arm (limit %.2fx) — controller made it worse",
+					r.Workload, t.TransfersPerOp, r.TransferRatioVsDetuned, tuneMaxVsDetuned)
+			}
+			if r.Oracle.TransfersPerOp > 0 && r.TransferRatioVsOracle > tuneMaxVsOracle {
+				return fmt.Errorf("control: %s tuned arm transfers/op %.4f is %.2fx the oracle arm (limit %.2fx) — did not converge",
+					r.Workload, t.TransfersPerOp, r.TransferRatioVsOracle, tuneMaxVsOracle)
+			}
+		}
+		if t.FinalCommitted > tuneFootprintFloor && r.Oracle.FinalCommitted > 0 &&
+			r.FootprintRatioVsOracle > tuneMaxFootprint {
+			return fmt.Errorf("control: %s tuned arm final footprint %d B is %.2fx the oracle arm (limit %.2fx)",
+				r.Workload, t.FinalCommitted, r.FootprintRatioVsOracle, tuneMaxFootprint)
+		}
+	}
+	return nil
+}
+
+// TuneSmoke is the CI gate (make tune-smoke): the quick-scale three-arm run
+// with the convergence thresholds enforced.
+func TuneSmoke() ([]ControlResult, error) {
+	rs := MeasureControl(4, Quick, nil)
+	return rs, CheckControl(rs)
+}

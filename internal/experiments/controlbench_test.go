@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestTuneSmoke runs the A14 CI gate (the one make tune-smoke uses): on every
+// workload the tuned arm must start from the detuned knobs, make decisions,
+// and land its steady-state transfer traffic and footprint inside the
+// convergence thresholds against the oracle arm.
+func TestTuneSmoke(t *testing.T) {
+	rs, err := TuneSmoke()
+	if len(rs) != len(controlWorkloads()) {
+		t.Fatalf("%d results, want %d", len(rs), len(controlWorkloads()))
+	}
+	for _, r := range rs {
+		t.Logf("%s P=%d: detuned %.4f tuned %.4f oracle %.4f transfers/op; tuned decisions %d, footprint %.2fx oracle",
+			r.Workload, r.Procs, r.Detuned.TransfersPerOp, r.Tuned.TransfersPerOp,
+			r.Oracle.TransfersPerOp, r.Tuned.Decisions, r.FootprintRatioVsOracle)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		for _, arm := range []ControlArm{r.Detuned, r.Tuned, r.Oracle} {
+			if arm.Ops == 0 {
+				t.Fatalf("%s/%s: arm did no work", r.Workload, arm.Arm)
+			}
+		}
+		if r.Detuned.Decisions != 0 || r.Oracle.Decisions != 0 {
+			t.Fatalf("%s: static arm reported controller activity", r.Workload)
+		}
+		if len(r.Tuned.FinalKnobs) == 0 {
+			t.Fatalf("%s: tuned arm reported no final knob state", r.Workload)
+		}
+	}
+}

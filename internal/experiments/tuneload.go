@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	hoard "hoardgo"
+	"hoardgo/internal/core"
+	"hoardgo/internal/loadgen"
+)
+
+// This file is the serving half of A14: the hoardload phase schedule
+// (diurnal ramp, hotspot shift, burst, drain) played through the same
+// three-arm ablation as the workload half in controlbench.go. The arms share
+// the request stream (same seed), so the comparison isolates the knobs. The
+// tuned arm runs the public-API controller (Config.Control) rather than a
+// hand-wired one — this is also the end-to-end exercise of the wiring
+// cmd/hoardload's -tune flag uses.
+
+// TunedLoadPhase is one phase's tail latencies in one arm.
+type TunedLoadPhase struct {
+	Name          string `json:"name"`
+	Requests      int64  `json:"requests"`
+	MallocP999NS  int64  `json:"malloc_p999_ns"`
+	RequestP999NS int64  `json:"request_p999_ns"`
+	EndFootprint  int64  `json:"end_footprint_bytes"`
+}
+
+// TunedLoadArm is one arm of the serving ablation.
+type TunedLoadArm struct {
+	Arm    string           `json:"arm"`
+	Phases []TunedLoadPhase `json:"phases"`
+	// PeakFootprint is the run's high-water committed bytes;
+	// FinalFootprint what remains after the drain and a forced release.
+	PeakFootprint  int64 `json:"peak_footprint_bytes"`
+	ReleasedBytes  int64 `json:"released_bytes"`
+	FinalFootprint int64 `json:"final_footprint_bytes"`
+	// Controller activity (tuned arm only).
+	Ticks      int64              `json:"ticks,omitempty"`
+	Decisions  int64              `json:"decisions,omitempty"`
+	FinalKnobs map[string]float64 `json:"final_knobs,omitempty"`
+}
+
+// TunedLoadResult is the serving ablation: the phase schedule under detuned
+// static knobs, the same bad knobs with the controller live, and the
+// hand-tuned static configuration.
+type TunedLoadResult struct {
+	Workers int          `json:"workers"`
+	Seed    int64        `json:"seed"`
+	Detuned TunedLoadArm `json:"detuned"`
+	Tuned   TunedLoadArm `json:"tuned"`
+	Oracle  TunedLoadArm `json:"oracle"`
+	// FootprintRatioVsOracle is tuned final footprint over oracle's.
+	FootprintRatioVsOracle float64 `json:"footprint_ratio_vs_oracle"`
+}
+
+// tunedLoadShape is the scale-dependent schedule geometry (a compact version
+// of cmd/hoardload's shape — this ablation runs three arms, so each is kept
+// shorter than the PR9 single-arm runs).
+func tunedLoadShape(scale Scale) (keys int64, sizeMin, sizeMax int, dur time.Duration, rate float64) {
+	if scale == Full {
+		return 16384, 16, 4096, 600 * time.Millisecond, 12000
+	}
+	return 4096, 16, 2048, 200 * time.Millisecond, 6000
+}
+
+// tunedLoadConfig builds one arm's allocator configuration.
+func tunedLoadConfig(arm string, workers int) hoard.Config {
+	cfg := hoard.Config{
+		Procs:   workers,
+		Metrics: true,
+		Scavenge: hoard.ScavengeConfig{
+			Enabled:  true,
+			Interval: 5 * time.Millisecond,
+			ColdAge:  20 * time.Millisecond,
+		},
+	}
+	switch arm {
+	case "oracle":
+		cfg.ThreadCacheCapacity = 64
+	default: // detuned and tuned start from the same bad knobs
+		cfg.ThreadCacheCapacity = 4
+		cfg.Hoard = core.Config{EmptyFraction: 0.05, K: core.KNone}
+	}
+	if arm == "tuned" {
+		cfg.Control = hoard.ControlConfig{
+			Enabled:       true,
+			Interval:      2 * time.Millisecond,
+			CooldownTicks: 2,
+			MinOpsPerTick: 32,
+		}
+	}
+	return cfg
+}
+
+// measureTunedLoadArm plays the phase schedule on one arm.
+func measureTunedLoadArm(arm string, workers int, seed int64, scale Scale) (TunedLoadArm, error) {
+	a, err := hoard.New(tunedLoadConfig(arm, workers))
+	if err != nil {
+		return TunedLoadArm{}, err
+	}
+	defer a.Close()
+
+	keys, sizeMin, sizeMax, dur, rate := tunedLoadShape(scale)
+	res, err := loadgen.Run(loadgen.Config{
+		Allocator: a,
+		Workers:   workers,
+		Slots:     int(keys),
+		Seed:      seed,
+	}, loadgen.StandardPhases(keys, sizeMin, sizeMax, dur, rate))
+	if err != nil {
+		return TunedLoadArm{}, fmt.Errorf("tuneload %s arm: %w", arm, err)
+	}
+
+	out := TunedLoadArm{Arm: arm}
+	for _, ph := range res.Phases {
+		out.Phases = append(out.Phases, TunedLoadPhase{
+			Name:          ph.Name,
+			Requests:      ph.Requests,
+			MallocP999NS:  ph.Malloc.P999,
+			RequestP999NS: ph.Request.P999,
+			EndFootprint:  ph.EndFootprintBytes,
+		})
+	}
+	for _, pt := range res.Timeline {
+		if pt.FootprintBytes > out.PeakFootprint {
+			out.PeakFootprint = pt.FootprintBytes
+		}
+	}
+	if st := a.Stats(); st.PeakFootprintBytes > out.PeakFootprint {
+		out.PeakFootprint = st.PeakFootprintBytes
+	}
+	if arm == "tuned" {
+		cs := a.StopController()
+		out.Ticks = cs.Ticks
+		out.Decisions = cs.Decisions
+		out.FinalKnobs = cs.Knobs
+	}
+	a.StopScavenger()
+	out.ReleasedBytes = a.ReleaseMemory()
+	out.FinalFootprint = a.Stats().FootprintBytes
+	return out, nil
+}
+
+// MeasureTunedLoad runs the serving ablation's three arms over the same
+// deterministic request stream.
+func MeasureTunedLoad(workers int, seed int64, scale Scale, progress func(string, int)) (TunedLoadResult, error) {
+	r := TunedLoadResult{Workers: workers, Seed: seed}
+	for _, arm := range []string{"detuned", "tuned", "oracle"} {
+		if progress != nil {
+			progress("tuneload/"+arm, workers)
+		}
+		m, err := measureTunedLoadArm(arm, workers, seed, scale)
+		if err != nil {
+			return r, err
+		}
+		switch arm {
+		case "detuned":
+			r.Detuned = m
+		case "tuned":
+			r.Tuned = m
+		case "oracle":
+			r.Oracle = m
+		}
+	}
+	if r.Oracle.FinalFootprint > 0 {
+		r.FootprintRatioVsOracle = float64(r.Tuned.FinalFootprint) / float64(r.Oracle.FinalFootprint)
+	}
+	return r, nil
+}
+
+// Serving thresholds: the tuned arm must hold the same absolute tail-latency
+// SLOs the PR9 smoke gate enforces (wall-clock tails are machine-dependent;
+// the SLOs are sized for a loaded CI box) and not carry materially more
+// resting footprint than the hand-tuned arm out of the drain.
+const (
+	tuneLoadMaxMallocP999  = 100 * time.Millisecond
+	tuneLoadMaxRequestP999 = 500 * time.Millisecond
+	tuneLoadMaxFootprint   = 1.5
+	tuneLoadFootprintFloor = 8 << 20
+)
+
+// CheckTunedLoad enforces the serving half's convergence thresholds.
+func CheckTunedLoad(r TunedLoadResult) error {
+	if r.Tuned.Decisions == 0 {
+		return fmt.Errorf("tuneload: controller never engaged under the phase schedule")
+	}
+	for _, ph := range r.Tuned.Phases {
+		if ph.MallocP999NS > tuneLoadMaxMallocP999.Nanoseconds() {
+			return fmt.Errorf("tuneload: tuned arm phase %s malloc p999 %dns exceeds %v",
+				ph.Name, ph.MallocP999NS, tuneLoadMaxMallocP999)
+		}
+		if ph.RequestP999NS > tuneLoadMaxRequestP999.Nanoseconds() {
+			return fmt.Errorf("tuneload: tuned arm phase %s request p999 %dns exceeds %v",
+				ph.Name, ph.RequestP999NS, tuneLoadMaxRequestP999)
+		}
+	}
+	if r.Tuned.FinalFootprint > tuneLoadFootprintFloor && r.Oracle.FinalFootprint > 0 &&
+		r.FootprintRatioVsOracle > tuneLoadMaxFootprint {
+		return fmt.Errorf("tuneload: tuned arm final footprint %d B is %.2fx the oracle arm (limit %.2fx)",
+			r.Tuned.FinalFootprint, r.FootprintRatioVsOracle, tuneLoadMaxFootprint)
+	}
+	return nil
+}

@@ -89,6 +89,12 @@ type ArenaOptions struct {
 	// serving large objects. Default 512 MiB; rounded up to a SpanSize
 	// multiple.
 	LargeRegionBytes int64
+	// GrowBytes is the virtual size of each extension mapping the arena
+	// adds when its initial reservation is exhausted (exhaustion grows the
+	// arena rather than panicking; see Stats.Grows). A single over-sized
+	// Reserve gets an extension sized to fit it. Default 64 MiB; rounded up
+	// to a SpanSize multiple.
+	GrowBytes int64
 }
 
 // counters is the reserved/committed accounting shared by every backend.
@@ -105,6 +111,7 @@ type counters struct {
 	recycled     atomic.Int64
 	decommits    atomic.Int64
 	recommits    atomic.Int64
+	grows        atomic.Int64
 }
 
 // addCommitted adds delta committed bytes and maintains the high-water mark.
@@ -142,6 +149,7 @@ func (c *counters) Stats() Stats {
 		Recycled:         c.recycled.Load(),
 		Decommits:        c.decommits.Load(),
 		Recommits:        c.recommits.Load(),
+		Grows:            c.grows.Load(),
 	}
 }
 

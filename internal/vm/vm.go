@@ -259,6 +259,10 @@ type Stats struct {
 	Recycled int64
 	// Decommits and Recommits count Span.Decommit and Span.Recommit calls.
 	Decommits, Recommits int64
+	// Grows counts extension mappings added after the initial reservation
+	// was exhausted. Always zero on the simulated backend, whose address
+	// space is unbounded.
+	Grows int64
 }
 
 // Space is the simulated OS address space, the default Backend. All methods
